@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+Scales are deliberately small so the whole suite runs in minutes on a
+laptop; set REPRO_BENCH_SCALE to raise them (the paper's documents are
+~200x the default).  All measurements that matter for the reproduction
+are *relative* (who wins, by what factor); see EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import Workloads
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return Workloads(xmark_scale=SCALE, dblp_scale=SCALE)

@@ -1,0 +1,83 @@
+"""Table 2 analogue: the nine benchmark queries.
+
+Per query the paper reports XFlux time, MB/s, SPEX time (where SPEX
+supports the query), state-transformer calls ("events") and memory.  Each
+benchmark here records the same quantities in extra_info; the SPEX
+comparisons are separate benchmarks so the relative shape (e.g. SPEX far
+ahead on Q3) is visible directly in the report.
+"""
+
+import pytest
+
+from repro.baselines.spex import SpexEngine
+from repro.bench.harness import (PAPER_QUERIES, QUERY_DATASET,
+                                 SPEX_QUERIES)
+from repro.xquery.engine import QueryRun, XFlux
+
+
+def _run_xflux(workloads, name):
+    query = PAPER_QUERIES[name]
+    engine = XFlux(query)
+    plan = engine.compile()
+    events = workloads.events(QUERY_DATASET[name], oids=plan.needs_oids)
+
+    def run():
+        fresh = QueryRun(engine.compile())
+        fresh.feed_all(events)
+        fresh.finish()
+        return fresh
+
+    return run, events
+
+
+@pytest.mark.parametrize("name", list(PAPER_QUERIES))
+def test_xflux_query(benchmark, workloads, name):
+    run, events = _run_xflux(workloads, name)
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=0)
+    stats = result.stats()
+    text = workloads.text(QUERY_DATASET[name])
+    secs = benchmark.stats["mean"]
+    benchmark.extra_info.update({
+        "query": PAPER_QUERIES[name][:60],
+        "mb_per_s": round(len(text) / 1e6 / secs, 3) if secs else None,
+        "transformer_calls": stats["transformer_calls"],
+        "mem_cells": stats["state_cells"]
+        + stats["display"]["peak_regions"],
+        "result_len": len(result.text()),
+    })
+
+
+@pytest.mark.parametrize("name", SPEX_QUERIES)
+def test_spex_query(benchmark, workloads, name):
+    query = PAPER_QUERIES[name]
+    events = workloads.events(QUERY_DATASET[name])
+
+    def run():
+        engine = SpexEngine.from_query(query)
+        engine.process_all(events)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=0)
+    benchmark.extra_info.update({
+        "query": query[:60],
+        "events_processed": engine.events_processed,
+        "peak_buffered": engine.peak_buffered,
+    })
+
+
+def test_naive_blocking_baseline(benchmark, workloads):
+    """The stored-processor stand-in the paper declines to race: full
+    materialization, zero output until the end."""
+    from repro.baselines.dom_eval import evaluate_to_xml
+    from repro.xmlio import parse
+    from repro.xquery.parser import parse as parse_query
+    text = workloads.xmark_text
+    ast = parse_query(PAPER_QUERIES["Q1"])
+
+    def run():
+        return evaluate_to_xml(ast, parse(text))
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["result_len"] = len(out)

@@ -1,0 +1,37 @@
+"""Table 1 analogue: dataset size, event count, tokenization time.
+
+The paper reports for XMark (224 MB) and DBLP (318 MB): document size,
+SAX events in millions, and the seconds to tokenize.  These benchmarks
+regenerate the same row structure for the synthetic datasets.
+"""
+
+from repro.xmlio import tokenize
+
+
+def test_tokenize_xmark(benchmark, workloads):
+    text = workloads.xmark_text
+    events = benchmark(lambda: len(tokenize(text)))
+    benchmark.extra_info["size_mb"] = round(len(text) / 1e6, 3)
+    benchmark.extra_info["events"] = events
+    assert events > 0
+
+
+def test_tokenize_dblp(benchmark, workloads):
+    text = workloads.dblp_text
+    events = benchmark(lambda: len(tokenize(text)))
+    benchmark.extra_info["size_mb"] = round(len(text) / 1e6, 3)
+    benchmark.extra_info["events"] = events
+    assert events > 0
+
+
+def test_tokenize_incremental_chunks(benchmark, workloads):
+    """Streaming intake: same work arriving in 64 KiB chunks."""
+    from repro.xmlio import iter_tokenize
+    text = workloads.xmark_text
+    chunks = [text[i:i + 65536] for i in range(0, len(text), 65536)]
+
+    def run():
+        return sum(1 for _ in iter_tokenize(chunks))
+
+    events = benchmark(run)
+    assert events > 0

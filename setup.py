@@ -1,0 +1,9 @@
+"""Legacy entry point; the project metadata lives in pyproject.toml.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` cannot build a PEP-517 editable wheel there; use
+``python setup.py develop`` or add ``src/`` to a ``.pth`` file instead.
+"""
+from setuptools import setup
+
+setup()

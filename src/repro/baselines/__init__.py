@@ -1,0 +1,10 @@
+"""Baseline systems: naive in-memory evaluation and an automata engine."""
+
+from .dom_eval import EvalError, descendants_postorder, evaluate, \
+    evaluate_to_xml
+from .spex import SpexEngine, SpexError, compile_path, run_spex
+
+__all__ = [
+    "evaluate", "evaluate_to_xml", "EvalError", "descendants_postorder",
+    "SpexEngine", "SpexError", "compile_path", "run_spex",
+]

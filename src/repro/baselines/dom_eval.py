@@ -1,0 +1,280 @@
+"""Naive, blocking XQuery evaluation over the in-memory mini-DOM.
+
+This is the stand-in for conventional processors (the paper mentions Galax
+and Saxon): parse the whole document into a tree, then evaluate.  It serves
+two roles here:
+
+* the **correctness oracle** — for every query in the supported subset,
+  the streaming engine's final display must equal this evaluator's result
+  (and, with updates, equal this evaluator over the eagerly-updated
+  document);
+* the **blocking baseline** for benchmarks — zero output until the entire
+  input has been materialized, with memory proportional to the document.
+
+Ordering intentionally mirrors the streaming engine's documented
+semantics: descendant steps produce nested matches in postorder (the
+paper's simplification), and backward steps produce candidates in the
+clone's postorder with duplicates removed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..operators.functions import compare_values
+from ..operators.sorting import sort_key
+from ..operators.aggregate import _format_number, _parse_number
+from ..xmlio.dom import Element, Node, Text, forest_to_xml
+from ..xquery import ast
+
+
+class EvalError(ValueError):
+    """Raised for queries outside the supported subset."""
+
+
+def evaluate(expr: ast.Expr, root: Element) -> List[Node]:
+    """Evaluate a query AST against a document tree; returns a forest."""
+    return _Evaluator(root).eval(expr, {})
+
+
+def evaluate_to_xml(expr: ast.Expr, root: Element) -> str:
+    """Evaluate and serialize like the streaming result display."""
+    return forest_to_xml(evaluate(expr, root))
+
+
+def descendants_postorder(node: Element,
+                          tag: Optional[str]) -> Iterator[Element]:
+    """Proper descendants, nested matches before their enclosing match.
+
+    This is the order the paper's ``//`` operator emits: an inner match is
+    retroactively inserted *before* its enclosing match, while unrelated
+    siblings keep document order.
+    """
+    for child in node.children:
+        if isinstance(child, Element):
+            yield from _postorder_matches(child, tag)
+
+
+def _postorder_matches(node: Element,
+                       tag: Optional[str]) -> Iterator[Element]:
+    for child in node.children:
+        if isinstance(child, Element):
+            yield from _postorder_matches(child, tag)
+    if tag is None or node.tag == tag:
+        yield node
+
+
+class _Evaluator:
+    def __init__(self, root: Element) -> None:
+        self.root = root
+
+    # -- dispatch ------------------------------------------------------------
+
+    def eval(self, expr: ast.Expr, env: dict) -> List[Node]:
+        if isinstance(expr, ast.Source):
+            return [self.root]
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in env:
+                raise EvalError("unbound variable ${}".format(expr.name))
+            return list(env[expr.name])
+        if isinstance(expr, ast.Step):
+            return self._eval_step(expr, env)
+        if isinstance(expr, ast.Filter):
+            base = self.eval(expr.base, env)
+            return [n for n in base
+                    if isinstance(n, Element)
+                    and self._condition(expr.cond, n, env)]
+        if isinstance(expr, ast.FLWOR):
+            return self._eval_flwor(expr, env)
+        if isinstance(expr, ast.ElementCtor):
+            return [self._construct(expr, env)]
+        if isinstance(expr, ast.SequenceExpr):
+            out: List[Node] = []
+            for item in expr.items:
+                out.extend(self.eval(item, env))
+            return out
+        if isinstance(expr, ast.StringLit):
+            return [Text(expr.value)]
+        if isinstance(expr, ast.FunCall):
+            return self._eval_funcall(expr, env)
+        raise EvalError("unsupported expression {!r}".format(expr))
+
+    # -- steps ------------------------------------------------------------------
+
+    def _eval_step(self, expr: ast.Step, env: dict) -> List[Node]:
+        if expr.axis in (ast.PARENT, ast.ANCESTOR):
+            return self._eval_backward(expr, env)
+        base = self.eval(expr.base, env)
+        out: List[Node] = []
+        for node in base:
+            if not isinstance(node, Element):
+                continue
+            if expr.axis == ast.CHILD:
+                out.extend(node.child_elements(expr.tag))
+            elif expr.axis == ast.DESCENDANT:
+                out.extend(descendants_postorder(node, expr.tag))
+            elif expr.axis == ast.TEXT:
+                out.extend(c for c in node.children if isinstance(c, Text))
+            else:
+                raise EvalError("unsupported axis {!r}".format(expr.axis))
+        return out
+
+    def _eval_backward(self, expr: ast.Step, env: dict) -> List[Node]:
+        incoming = [n for n in self.eval(expr.base, env)
+                    if isinstance(n, Element)]
+        out: List[Node] = []
+        for candidate in descendants_postorder(self.root, expr.tag):
+            if any(self._encloses(candidate, c, expr.axis)
+                   for c in incoming):
+                out.append(candidate)
+        return out
+
+    @staticmethod
+    def _encloses(candidate: Element, node: Element, axis: str) -> bool:
+        """Is ``candidate`` a proper ancestor (or parent) of ``node``?"""
+        if node is candidate:
+            return False
+        if axis == ast.PARENT:
+            return node.parent is candidate
+        return any(a is candidate for a in node.ancestors())
+
+    # -- predicates ----------------------------------------------------------------
+
+    def _condition(self, cond: ast.Expr, context: Element,
+                   env: dict) -> bool:
+        if isinstance(cond, ast.BoolExpr):
+            op = all if cond.op == "and" else any
+            return op(self._condition(item, context, env)
+                      for item in cond.items)
+        if isinstance(cond, ast.Compare):
+            values = self._condition_values(cond.left, context, env)
+            return any(compare_values(cond.op, v, cond.literal)
+                       for v in values)
+        if isinstance(cond, ast.FunCall) and cond.name == "contains":
+            values = self._condition_values(cond.args[0], context, env)
+            return any((cond.literal or "") in v for v in values)
+        values = self._condition_nodes(cond, context, env)
+        return bool(values)
+
+    def _condition_nodes(self, expr: ast.Expr, context: Element,
+                         env: dict) -> List[Node]:
+        if isinstance(expr, (ast.VarRef,)):
+            return [context]
+        if isinstance(expr, ast.Source):
+            return context.child_elements(expr.name)
+        if isinstance(expr, ast.Step):
+            bases = self._condition_nodes(expr.base, context, env)
+            out: List[Node] = []
+            for node in bases:
+                if not isinstance(node, Element):
+                    continue
+                if expr.axis == ast.CHILD:
+                    out.extend(node.child_elements(expr.tag))
+                elif expr.axis == ast.DESCENDANT:
+                    out.extend(descendants_postorder(node, expr.tag))
+                elif expr.axis == ast.TEXT:
+                    out.extend(c for c in node.children
+                               if isinstance(c, Text))
+                else:
+                    raise EvalError(
+                        "unsupported condition axis {!r}".format(expr.axis))
+            return out
+        raise EvalError("unsupported condition {!r}".format(expr))
+
+    def _condition_values(self, expr: ast.Expr, context: Element,
+                          env: dict) -> List[str]:
+        return [n.string_value for n in
+                self._condition_nodes(expr, context, env)]
+
+    # -- FLWOR ------------------------------------------------------------------------
+
+    def _eval_flwor(self, expr: ast.FLWOR, env: dict) -> List[Node]:
+        seq = self.eval(expr.seq, env)
+        bindings: List[Node] = []
+        for item in seq:
+            if expr.where is not None:
+                if not isinstance(item, Element):
+                    continue
+                if not self._condition(expr.where, item, env):
+                    continue
+            bindings.append(item)
+        if expr.order_key is not None:
+            def key_of(item: Node):
+                key_nodes = self._key_nodes(expr.order_key, item, env)
+                return sort_key(key_nodes[0].string_value
+                                if key_nodes else "")
+            # Python's sort is stable even with reverse=True, matching the
+            # streaming sort's tie behaviour (arrival order).
+            bindings = sorted(bindings, key=key_of,
+                              reverse=expr.descending)
+        out: List[Node] = []
+        for item in bindings:
+            inner = dict(env)
+            inner[expr.var] = [item]
+            for name, let_expr in expr.lets:
+                inner[name] = self.eval(let_expr, inner)
+            out.extend(self.eval(expr.ret, inner))
+        return out
+
+    def _key_nodes(self, expr: ast.Expr, item: Node,
+                   env: dict) -> List[Node]:
+        if isinstance(expr, ast.VarRef):
+            return [item]
+        if isinstance(expr, ast.Step):
+            bases = self._key_nodes(expr.base, item, env)
+            out: List[Node] = []
+            for node in bases:
+                if not isinstance(node, Element):
+                    continue
+                if expr.axis == ast.CHILD:
+                    out.extend(node.child_elements(expr.tag))
+                elif expr.axis == ast.DESCENDANT:
+                    out.extend(descendants_postorder(node, expr.tag))
+                elif expr.axis == ast.TEXT:
+                    out.extend(c for c in node.children
+                               if isinstance(c, Text))
+                else:
+                    raise EvalError("unsupported key axis")
+            return out
+        raise EvalError("unsupported sort key {!r}".format(expr))
+
+    # -- construction / aggregates ---------------------------------------------------------
+
+    def _construct(self, expr: ast.ElementCtor, env: dict) -> Element:
+        el = Element(expr.tag)
+        for item in expr.content:
+            for node in self.eval(item, env):
+                el.append(_copy_node(node))
+        return el
+
+    def _eval_funcall(self, expr: ast.FunCall, env: dict) -> List[Node]:
+        if expr.name == "count":
+            return [Text(str(len(self.eval(expr.args[0], env))))]
+        if expr.name in ("sum", "avg"):
+            items = self.eval(expr.args[0], env)
+            total, n = 0.0, 0
+            for item in items:
+                n += 1
+                value = _parse_number(item.string_value)
+                if value is not None:
+                    total += value
+            if expr.name == "sum":
+                return [Text(_format_number(total))]
+            return [Text("" if n == 0 else _format_number(total / n))]
+        if expr.name in ("min", "max"):
+            values = [v for v in
+                      (_parse_number(i.string_value)
+                       for i in self.eval(expr.args[0], env))
+                      if v is not None]
+            if not values:
+                return [Text("")]
+            pick = min(values) if expr.name == "min" else max(values)
+            return [Text(_format_number(pick))]
+        raise EvalError("unsupported function {!r}".format(expr.name))
+
+
+def _copy_node(node: Node) -> Node:
+    if isinstance(node, Element):
+        return node.copy()
+    assert isinstance(node, Text)
+    return Text(node.text)

@@ -1,0 +1,11 @@
+"""Benchmark harness reproducing the paper's evaluation tables."""
+
+from .harness import (PAPER_QUERIES, QUERY_DATASET, SPEX_QUERIES,
+                      DatasetStats, QueryStats, Workloads, format_report,
+                      run_all, run_query)
+
+__all__ = [
+    "PAPER_QUERIES", "SPEX_QUERIES", "QUERY_DATASET",
+    "Workloads", "DatasetStats", "QueryStats",
+    "run_query", "run_all", "format_report",
+]

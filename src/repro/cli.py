@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro``.
+
+Run a streaming XQuery over an XML document or a serialized update stream:
+
+    python -m repro 'X//book[author="Joyce"]/title' catalog.xml
+    python -m repro --events 'stream()//quote/price' ticker.events
+    cat catalog.xml | python -m repro 'count(X//book)'
+
+Options:
+    --events           input is the textual event format (repro.events),
+                       typically containing embedded updates
+    --mutable-source   keep predicate decisions revocable (input embeds
+                       updates)
+    --ignore-updates   consumer opt-out: treat all updates as void
+    --follow           print the display every time it changes (the
+                       continuous answer), not just the final result
+    --stats            print execution metrics to stderr
+    --query-file FILE  read the query text from a file instead of argv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Optional
+
+from .events.serialize import iter_loads
+from .xmlio.tokenizer import XMLTokenizer
+from .xquery.engine import XFlux
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming XQuery over XML update streams (XFlux "
+                    "reproduction)")
+    ap.add_argument("query", nargs="?",
+                    help="query text (or use --query-file)")
+    ap.add_argument("input", nargs="?",
+                    help="input file (default: stdin)")
+    ap.add_argument("--query-file", help="read the query from this file")
+    ap.add_argument("--events", action="store_true",
+                    help="input is the textual event-stream format")
+    ap.add_argument("--mutable-source", action="store_true",
+                    help="the input embeds updates; keep decisions "
+                         "revocable")
+    ap.add_argument("--ignore-updates", action="store_true",
+                    help="consumer opt-out: ignore all embedded updates")
+    ap.add_argument("--follow", action="store_true",
+                    help="print the display whenever it changes")
+    ap.add_argument("--stats", action="store_true",
+                    help="print execution metrics to stderr")
+    return ap
+
+
+def _read_text(path: Optional[str]) -> str:
+    if path is None or path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _event_source(text: str, events_mode: bool, needs_oids: bool):
+    if events_mode:
+        return iter_loads(text)
+    tok = XMLTokenizer(emit_oids=needs_oids)
+    return tok.tokenize(text)
+
+
+def main(argv: Optional[Iterable[str]] = None,
+         out=None, err=None) -> int:
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    args = build_arg_parser().parse_args(
+        list(argv) if argv is not None else None)
+
+    if args.query_file:
+        query_text = _read_text(args.query_file)
+        input_path = args.query if args.input is None else args.input
+    else:
+        if args.query is None:
+            print("error: no query given (positional or --query-file)",
+                  file=err)
+            return 2
+        query_text = args.query
+        input_path = args.input
+
+    try:
+        engine = XFlux(query_text,
+                       mutable_source=args.mutable_source,
+                       ignore_updates=args.ignore_updates)
+        plan = engine.compile()
+    except Exception as exc:  # parse/compile diagnostics for the user
+        print("error: {}".format(exc), file=err)
+        return 2
+
+    text = _read_text(input_path)
+    run = engine.start()
+    shown: Optional[str] = None
+    try:
+        for event in _event_source(text, args.events, plan.needs_oids):
+            run.feed(event)
+            if args.follow:
+                current = run.text()
+                if current != shown:
+                    shown = current
+                    print(current, file=out)
+        run.finish()
+    except Exception as exc:
+        print("error: {}".format(exc), file=err)
+        return 1
+
+    final = run.text()
+    if not args.follow or final != shown:
+        print(final, file=out)
+    if args.stats:
+        stats = run.stats()
+        print("transformer_calls={} state_cells={} stages={}".format(
+            stats["transformer_calls"], stats["state_cells"],
+            stats["stages"]), file=err)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

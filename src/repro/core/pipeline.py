@@ -1,0 +1,154 @@
+"""Push-based pipeline plumbing (paper Section II).
+
+A query is a chain of stages; every stage is a
+:class:`~repro.core.transformer.StateTransformer` wrapped by the generic
+:class:`~repro.core.wrapper.UpdateWrapper`.  The global event stream is
+pushed through the chain one event at a time; each stage may emit zero or
+more events for the next stage.  The paper's ``Filter`` class with its
+``dispatch`` method is provided for fidelity; :class:`Pipeline` is the
+iterative driver the engine uses (no recursion, cheap accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..events.model import Event
+from .transformer import Context, StateTransformer
+from .wrapper import UpdateWrapper
+
+
+class Filter:
+    """The paper's push-based filter: dispatches events to ``next``."""
+
+    def __init__(self, transformer: StateTransformer,
+                 next: Optional["Filter"] = None) -> None:
+        self.wrapper = UpdateWrapper(transformer)
+        self.next = next
+
+    def dispatch(self, e: Event) -> None:
+        for a in self.wrapper.dispatch(e):
+            if self.next is not None:
+                self.next.dispatch(a)
+
+    def finish(self) -> None:
+        for a in self.wrapper.on_end():
+            if self.next is not None:
+                self.next.dispatch(a)
+        if self.next is not None:
+            self.next.finish()
+
+
+class SinkFilter(Filter):
+    """Chain terminator that hands events to a callable sink."""
+
+    def __init__(self, sink: Callable[[Event], None]) -> None:
+        self.sink = sink
+        self.next = None
+
+    def dispatch(self, e: Event) -> None:
+        self.sink(e)
+
+    def finish(self) -> None:
+        pass
+
+
+def build_filter_chain(transformers: Sequence[StateTransformer],
+                       sink: Callable[[Event], None]) -> Filter:
+    """Link transformers into the paper's Filter chain, ending at ``sink``."""
+    head: Filter = SinkFilter(sink)
+    for t in reversed(transformers):
+        head = Filter(t, head)
+    return head
+
+
+class Pipeline:
+    """Iterative pipeline driver with per-stage accounting.
+
+    Args:
+        ctx: shared context (id allocator, fix map).
+        stages: the transformers, source side first.
+        sink: an object with ``process(event)`` (e.g. a Display or a
+            Collector); events surviving the last stage land there.
+    """
+
+    def __init__(self, ctx: Context, stages: Sequence[StateTransformer],
+                 sink) -> None:
+        self.ctx = ctx
+        self.wrappers: List[UpdateWrapper] = [UpdateWrapper(t)
+                                              for t in stages]
+        self.sink = sink
+        self._finished = False
+
+    def feed(self, e: Event) -> None:
+        """Push one source event through every stage into the sink.
+
+        Propagation is depth-first, like the paper's ``Filter.dispatch``:
+        each event a stage emits traverses the *entire* rest of the chain
+        before the stage's next emitted event.  This ordering is
+        semantically significant — the global mutability map means a
+        ``freeze`` must not overtake the ``hide`` emitted just before it.
+        """
+        self._dispatch(0, e)
+
+    def _dispatch(self, idx: int, e: Event) -> None:
+        wrappers = self.wrappers
+        if idx == len(wrappers):
+            self.sink.process(e)
+            return
+        nxt = idx + 1
+        for out in wrappers[idx].dispatch(e):
+            self._dispatch(nxt, out)
+
+    def feed_all(self, events: Iterable[Event]) -> None:
+        for e in events:
+            self._dispatch(0, e)
+
+    def finish(self) -> None:
+        """Flush every stage's ``on_end`` through the rest of the chain."""
+        if self._finished:
+            return
+        self._finished = True
+        for idx, w in enumerate(self.wrappers):
+            for ev in w.on_end():
+                self._dispatch(idx + 1, ev)
+        finish = getattr(self.sink, "finish", None)
+        if finish is not None:
+            finish()
+
+    def run(self, events: Iterable[Event]):
+        """Feed a complete stream, flush, and return the sink."""
+        self.feed_all(events)
+        self.finish()
+        return self.sink
+
+    # -- accounting ----------------------------------------------------------
+
+    def total_calls(self) -> int:
+        """Total state-transformer dispatches (the paper's ``events``)."""
+        return sum(w.calls for w in self.wrappers)
+
+    def state_cells(self) -> int:
+        """Retained transformer-state cells across all stages."""
+        return sum(w.state_cells() for w in self.wrappers)
+
+    def live_regions(self) -> int:
+        return sum(w.live_regions() for w in self.wrappers)
+
+
+class Collector:
+    """A sink that records the raw output event stream."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def process(self, e: Event) -> None:
+        self.events.append(e)
+
+
+def run_stages(ctx: Context, stages: Sequence[StateTransformer],
+               events: Iterable[Event]) -> List[Event]:
+    """Run events through stages (with update wrappers); return raw output."""
+    collector = Collector()
+    Pipeline(ctx, stages, collector).run(events)
+    return collector.events

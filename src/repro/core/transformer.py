@@ -1,0 +1,271 @@
+"""State transformers: the unit of query evaluation (paper Section II).
+
+A pipeline stage is a tuple ``(S, s, z, i : f)`` — a state type, a current
+state, an initial state, and a state transformer ``f : E x S -> E* x S``
+attached to stream number ``i`` (or to several streams for binary
+operations).  As in the paper, we code ``f`` as a *state modifier*
+``F : E -> E*`` that destructively updates the state; the generic update
+wrapper (:mod:`repro.core.wrapper`) clones the state when update regions
+require it, via :meth:`StateTransformer.get_state` /
+:meth:`StateTransformer.set_state`.
+
+A transformer is **inert** when ``f*`` restores the state across any
+well-formed input sequence; inert transformers need no state adjustment
+(``adjust`` is the identity), which the wrapper exploits.
+
+Non-inert transformers additionally implement:
+
+* :meth:`adjust` — the paper's ``adjust(s1, s2, s3)``: given that an earlier
+  transition changed ``s2`` to ``s3``, fix up a later state ``s1``;
+* :meth:`on_transition` — invoked once per completed update (eR/eA/eB,
+  hide, show) with the update's old/new boundary states; may emit events
+  (e.g. the predicate's retroactive show/hide);
+* :meth:`on_live_adjusted` — invoked after the live state is adjusted; may
+  emit events (e.g. count re-emits its replace update with the fixed value).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence, Tuple
+
+from ..events.model import Event, IdGenerator
+
+
+class MutabilityRegistry:
+    """The global ``fix : id -> bool`` map of Section V.
+
+    Content that was never declared mutable is *fixed* (closed to updates),
+    so the default for unknown ids is True.  ``sM`` regions start not fixed
+    unless the consumer declared that it ignores updates on that stream;
+    ``sR/sB/sA`` regions inherit their target's fixedness; ``freeze``
+    irrevocably fixes an id.
+    """
+
+    def __init__(self) -> None:
+        self._not_fixed: set = set()
+        self.ignored_streams: set = set()
+
+    def is_fixed(self, id: int) -> bool:
+        return id not in self._not_fixed
+
+    def declare_mutable(self, id: int) -> None:
+        if id not in self.ignored_streams:
+            self._not_fixed.add(id)
+
+    def inherit(self, target: int, new: int) -> None:
+        """fix[new] <- fix[target] at the start of any update."""
+        if target in self._not_fixed:
+            self._not_fixed.add(new)
+
+    def freeze(self, id: int) -> None:
+        self._not_fixed.discard(id)
+
+    def live_count(self) -> int:
+        return len(self._not_fixed)
+
+
+class Context:
+    """Shared pipeline context: id allocator and the fix map."""
+
+    def __init__(self, ids: IdGenerator = None,
+                 fix: MutabilityRegistry = None) -> None:
+        self.ids = ids if ids is not None else IdGenerator()
+        self.fix = fix if fix is not None else MutabilityRegistry()
+
+    def fresh_id(self) -> int:
+        return self.ids.fresh()
+
+
+State = Tuple
+PASS_THROUGH: List[Event] = []
+
+
+class UpdatePolicy(enum.Enum):
+    """How update brackets on an input stream travel through a stage."""
+
+    TRANSLATE = "translate"
+    TRANSPARENT = "transparent"
+    CONSUME = "consume"
+    TEE = "tee"
+    #: Update events are handed to the transformer's process() like data
+    #: (no wrapper bookkeeping): for operators that must reorder brackets
+    #: together with their content (sorting and tuple normalization).
+    RAW = "raw"
+    #: Region content is processed against the shared live state and the
+    #: brackets are consumed silently — for consumed inputs whose operator
+    #: tracks them via its own registers (the backward-axis join), where
+    #: per-region state copies would wrongly overwrite interleaved live
+    #: progress at the bracket's end.
+    SHARED = "shared"
+
+
+class StateTransformer:
+    """Base class for pipeline stage operators.
+
+    Attributes:
+        input_ids: the stream number(s) this operator consumes.  Events on
+            these streams (and on update regions nested in them) are fed to
+            :meth:`process`; everything else passes through unchanged.
+        output_id: the stream number of the operator's result (for unary
+            relabeling operators this may equal the input).
+        inert: True when ``f*`` preserves state over well-formed sequences.
+    """
+
+    inert = True
+    #: When True, events emitted while processing update-region content are
+    #: discarded; the operator's visible result is refreshed through
+    #: on_live_adjusted instead (used by aggregates whose whole output is a
+    #: continuously replaced value).
+    suppress_region_output = False
+    #: Set by the wrapper before each process() call: True when the event
+    #: being processed is update-region content (hence revocable), False
+    #: for plain (immutable) stream content.  Predicates use this as the
+    #: paper's fixed[e.id] test.
+    region_mutable = False
+    #: Set by the wrapper before each process() call: the input stream the
+    #: event belongs to (the event's own id for live content, the region's
+    #: root input stream for region content).  Binary operators route by
+    #: this rather than by e.id.
+    current_input_root = None
+    #: Set by the wrapper before each process() call: the update region the
+    #: event is content of (None for live content).
+    current_region = None
+    #: Set by the wrapper before each process() call: the positional
+    #: ancestor chain of current_region, innermost first (empty for live
+    #: content).  Operators that slave output regions to input visibility
+    #: register against every enclosing region.
+    current_region_chain = ()
+
+    def __init__(self, ctx: Context, input_ids: Sequence[int],
+                 output_id: int) -> None:
+        self.ctx = ctx
+        self.input_ids = tuple(input_ids)
+        self.output_id = output_id
+
+    def update_policy(self, stream_id: int) -> "UpdatePolicy":
+        """How update brackets on ``stream_id`` travel through this stage.
+
+        The default TRANSLATE re-emits brackets in output space.
+        Overridden by operators with consumed inputs (aggregates),
+        transparent outputs (concatenation), or tee behaviour (stream
+        cloning).  The wrapper caches the answer per input stream, so the
+        policy must be static per (operator, stream).
+        """
+        return UpdatePolicy.TRANSLATE
+
+    def bracket_anchor(self) -> int:
+        """The output-space container that translated brackets nest into.
+
+        By default an update bracket arriving on the input stream is
+        re-emitted targeting the operator's output stream.  Operators that
+        are currently emitting *inside* an output-side region of their own
+        making (e.g. the predicate's per-element mutable region) return
+        that region's id so nested incoming brackets anchor correctly.
+        """
+        return self.output_id
+
+    # -- the state modifier F ----------------------------------------------
+
+    def process(self, e: Event) -> List[Event]:
+        """Handle one event of the operator's own stream(s)."""
+        raise NotImplementedError
+
+    def on_other(self, e: Event) -> List[Event]:
+        """Handle an event of a foreign stream (default: pass through)."""
+        return [e]
+
+    def on_end(self) -> List[Event]:
+        """Called once when the global stream ends (flush hook)."""
+        return []
+
+    # -- state cloning for the wrapper ---------------------------------------
+
+    def get_state(self) -> State:
+        """Snapshot the mutable state as an immutable value."""
+        return ()
+
+    def set_state(self, state: State) -> None:
+        """Restore a snapshot taken by :meth:`get_state`."""
+
+    def state_cells(self, state: State) -> int:
+        """Approximate retained size of one state copy (for accounting)."""
+        return _count_cells(state)
+
+    # -- update adjustment (non-inert transformers override) -----------------
+
+    def adjust(self, state: State, s1: State, s2: State) -> State:
+        """The paper's adjust: s2 changed to s3=s2'; fix up ``state``."""
+        return state
+
+    def on_transition(self, uid: int, s1: State, s2: State) -> List[Event]:
+        """Events to embed when update ``uid`` changed s1 -> s2."""
+        return []
+
+    def on_live_adjusted(self, old: State, new: State) -> List[Event]:
+        """Events to embed after the live state was adjusted."""
+        return []
+
+    def on_region_hidden(self, uid: int) -> List[Event]:
+        """Hook: a tracked region was hidden (may emit events)."""
+        return []
+
+    def on_region_shown(self, uid: int) -> List[Event]:
+        """Hook: a tracked region was shown again (may emit events)."""
+        return []
+
+    def on_region_frozen(self, uid: int) -> List[Event]:
+        """Hook: a tracked region was sealed (may emit events)."""
+        return []
+
+    def __repr__(self) -> str:
+        return "{}(in={}, out={})".format(type(self).__name__,
+                                          self.input_ids, self.output_id)
+
+
+def _count_cells(value: object) -> int:
+    if isinstance(value, (tuple, list, frozenset, set)):
+        return 1 + sum(_count_cells(v) for v in value)
+    if isinstance(value, dict):
+        return 1 + sum(_count_cells(k) + _count_cells(v)
+                       for k, v in value.items())
+    return 1
+
+
+class Identity(StateTransformer):
+    """Pass a stream through unchanged (useful in tests and as a spacer)."""
+
+    def process(self, e: Event) -> List[Event]:
+        return [e]
+
+
+class Relabel(StateTransformer):
+    """Relabel a stream to a new stream number."""
+
+    def process(self, e: Event) -> List[Event]:
+        return [e.relabel(self.output_id)]
+
+
+class Drop(StateTransformer):
+    """Consume a stream, emitting nothing (used to discard residue)."""
+
+    def process(self, e: Event) -> List[Event]:
+        return PASS_THROUGH
+
+
+def run_sequence(transformer: StateTransformer,
+                 events: Sequence[Event]) -> List[Event]:
+    """Apply the raw state modifier over a sequence (the paper's ``f*``).
+
+    Bypasses the update wrapper: update events are treated as foreign.
+    Used by unit tests that exercise a single operator in isolation.
+    """
+    out: List[Event] = []
+    tracked = set(transformer.input_ids)
+    for e in events:
+        if not e.is_update and e.id in tracked:
+            out.extend(transformer.process(e))
+        else:
+            out.extend(transformer.on_other(e))
+    out.extend(transformer.on_end())
+    return out

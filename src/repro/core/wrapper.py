@@ -1,0 +1,626 @@
+"""The generic update-handling wrapper ``W`` (paper Section IV).
+
+Given a state transformer that understands plain stream data, the wrapper
+makes it update-aware without any operator-specific code:
+
+* it keeps one copy of the transformer state per update region
+  (``start``/``end``/``shadow`` maps), creating them when an update bracket
+  opens inside a tracked stream;
+* content events of a region are processed against that region's own state
+  copy (necessary so e.g. a counter counts a replacement's content and the
+  delta becomes visible at the bracket's end);
+* when an update completes (eR/eA/eB) or flips visibility (hide/show), the
+  states of all *later* regions — ordered by rational ``order`` timestamps —
+  and the live state are fixed up through the transformer's pure
+  :meth:`~repro.core.transformer.StateTransformer.adjust` function;
+* the mutability analysis of Section V prunes state: regions whose id is
+  *fixed* get no state copies at all, and ``freeze`` drops existing ones.
+
+**Update-bracket translation.**  The paper's pseudo-code leaves implicit
+how an update travels through a stage whose output is a different virtual
+stream: the content a stage emits while processing a region must itself be
+bracketed, in the *stage's own output space* ("every top-level element from
+e1 has its own substream id").  The wrapper implements this generically via
+a per-input-stream :class:`UpdatePolicy`:
+
+* ``TRANSLATE`` (default): re-emit the bracket with a fresh output-side
+  region id; events the transformer emits on its output stream while the
+  region is loaded are relabeled into that region.  hide/show/freeze are
+  forwarded retargeted at the output-side region.
+* ``TRANSPARENT``: forward the bracket verbatim (operators like
+  concatenation whose output carries the input stream numbers).
+* ``CONSUME``: emit no bracket — the stream feeds only the operator's
+  state (e.g. a predicate's condition stream); visible effects happen
+  through ``on_transition`` (retroactive show/hide) instead.
+* ``TEE``: forward the original bracket *and* a translated one (stream
+  duplication for predicates and backward axes).
+
+Other deviations from the paper's pseudo-code are listed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ..events.model import (EA, EB, EM, ER, FREEZE, HIDE, SA, SB, SHOW, SM,
+                            SR, UPDATE_ENDS, UPDATE_STARTS, Event, freeze as
+                            freeze_event, hide as hide_event,
+                            matching_end, show as show_event)
+from .transformer import State, StateTransformer, UpdatePolicy
+
+#: State-map key for the live (main stream) state.
+LIVE = "live"
+
+
+class UpdateWrapper:
+    """Wrap a :class:`StateTransformer`, handling update events generically."""
+
+    def __init__(self, transformer: StateTransformer) -> None:
+        self.t = transformer
+        self.ctx = transformer.ctx
+        self.input_ids = frozenset(transformer.input_ids)
+        # Per-region state copies (region id -> state snapshot).
+        self.start: Dict[object, State] = {}
+        self.end: Dict[object, State] = {}
+        self.shadow: Dict[object, State] = {}
+        self.order: Dict[object, Optional[Fraction]] = {}
+        self.start[LIVE] = transformer.get_state()
+        self.end[LIVE] = self.start[LIVE]
+        self.order[LIVE] = None  # None = +infinity: always adjusted
+        self._regions: set = set()
+        self._alias_live: set = set()  # fixed sM regions: plain content
+        self._raw: set = set()         # RAW-policy regions: fed to process
+        self._shared: set = set()      # SHARED-policy regions: live state
+        self._root: Dict[int, int] = {}        # region -> root input stream
+        self._out_region: Dict[int, int] = {}  # region -> output-space id
+        self._anchor_at_open: Dict[int, int] = {}  # region -> anchor then
+        self._inner: Dict[int, set] = {}  # region -> subs opened within it
+        self._parent: Dict[int, Optional[int]] = {}  # bracket nesting
+        self._bracket_stack: List[int] = []          # open tracked brackets
+        self._policy_cache: Dict[int, UpdatePolicy] = {}
+        self._loaded: object = LIVE
+        self._tick = Fraction(1)
+        self.calls = 0
+        self.peak_states = 1
+
+    # -- policy ---------------------------------------------------------------
+
+    def _policy(self, region: int) -> UpdatePolicy:
+        root = self._root.get(region)
+        if root is None:
+            return UpdatePolicy.TRANSLATE
+        cached = self._policy_cache.get(root)
+        if cached is None:
+            cached = self.t.update_policy(root)
+            self._policy_cache[root] = cached
+        return cached
+
+    # -- state residency --------------------------------------------------------
+
+    def _save(self) -> None:
+        """Flush the transformer's in-object state into the end map."""
+        self.end[self._loaded] = self.t.get_state()
+
+    def _load(self, key: object) -> None:
+        if key is self._loaded or key == self._loaded:
+            return
+        self._save()
+        self.t.set_state(self.end[key])
+        self._loaded = key
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def dispatch(self, e: Event) -> List[Event]:
+        """The effective state transformer ``f'`` extended with updates."""
+        self.calls += 1
+        kind = e.kind
+        if not e.is_update:
+            eid = e.id
+            if eid in self.input_ids or eid in self._alias_live:
+                self._load(LIVE)
+                self.t.region_mutable = False
+                self.t.current_input_root = eid
+                self.t.current_region = None
+                return self.t.process(e)
+            if eid in self._raw or eid in self._shared:
+                self._load(LIVE)
+                self.t.region_mutable = True
+                self.t.current_input_root = self._root.get(eid)
+                self.t.current_region = eid
+                return self.t.process(e)
+            if eid in self._regions:
+                self._load(eid)
+                self.t.region_mutable = True
+                self.t.current_input_root = self._root.get(eid)
+                self.t.current_region = eid
+                self.t.current_region_chain = self._region_chain(eid)
+                out = self.t.process(e)
+                if self.t.suppress_region_output:
+                    return []
+                return self._relabel_out(out, eid)
+            return self.t.on_other(e)
+        if kind in UPDATE_STARTS:
+            return self._on_update_start(e)
+        if kind in UPDATE_ENDS:
+            return self._on_update_end(e)
+        if kind == HIDE:
+            return self._on_hide(e)
+        if kind == SHOW:
+            return self._on_show(e)
+        if kind == FREEZE:
+            return self._on_freeze(e)
+        return self.t.on_other(e)
+
+    def on_end(self) -> List[Event]:
+        self._load(LIVE)
+        return self.t.on_end()
+
+    def _relabel_out(self, out: List[Event], region: int) -> List[Event]:
+        """Route events emitted during region processing into the bracket.
+
+        Non-update events the transformer emits on its output stream (or
+        into its current output-side container) are relabeled to the
+        translated region id; update events *targeting* those ids are
+        retargeted the same way, so operator-generated sub-brackets nest
+        inside the translated bracket.
+        """
+        j_out = self._out_region.get(region)
+        if j_out is None:
+            return out
+        policy = self._policy(region)
+        own = {self.t.output_id,
+               self._anchor_at_open.get(region, self.t.output_id)}
+        inner = self._inner.setdefault(region, set())
+        result: List[Event] = []
+        for ev in out:
+            if ev.is_update:
+                if ev.id in own:
+                    # Operator-generated sub-bracket anchored at the
+                    # operator's own output: nest it inside the bracket.
+                    result.append(Event(ev.kind, j_out, sub=ev.sub))
+                else:
+                    result.append(ev)
+                if ev.kind in UPDATE_STARTS and ev.sub is not None:
+                    inner.add(ev.sub)
+            elif ev.id in inner:
+                # Content of a container the operator opened inside this
+                # very bracket (e.g. a predicate's per-element region):
+                # already correctly placed.
+                result.append(ev)
+            elif policy == UpdatePolicy.TRANSLATE:
+                # Everything else the operator emits while replaying this
+                # region is the bracket's content — including events
+                # labeled with a container opened in an *earlier* scope
+                # (e.g. a replacement for a long-closed element).
+                result.append(ev.relabel(j_out))
+            elif ev.id in own:
+                result.append(ev.relabel(j_out))
+            else:
+                result.append(ev)
+        return result
+
+    # -- update bookkeeping ----------------------------------------------------------
+
+    def _tracks(self, i: int) -> bool:
+        return (i in self.input_ids or i in self._regions
+                or i in self._alias_live or i in self._raw
+                or i in self._shared)
+
+    def _key_of(self, i: int) -> object:
+        return LIVE if (i in self.input_ids or i in self._alias_live) else i
+
+    def _order_of(self, i: int) -> Fraction:
+        key = self._key_of(i)
+        if key is LIVE:
+            return Fraction(1)  # the paper: order of sS(stream, i) is 1
+        return self.order[key] or Fraction(1)
+
+    def _out_target(self, i: int) -> int:
+        """Map an input-space update target to output space."""
+        if i in self.input_ids or i in self._alias_live:
+            return self.t.bracket_anchor()
+        return self._out_region.get(i, self.t.output_id)
+
+    def _on_update_start(self, e: Event) -> List[Event]:
+        i, j = e.id, e.sub
+        if not self._tracks(i):
+            return self.t.on_other(e)
+        fix = self.ctx.fix
+        if e.kind == SM:
+            fix.declare_mutable(j)
+        else:
+            fix.inherit(i, j)
+        root = self._root.get(i, i if i in self.input_ids else None)
+        if root is not None:
+            self._root[j] = root
+        policy = self._policy(j)
+        if policy == UpdatePolicy.RAW:
+            self._raw.add(j)
+            self._load(LIVE)
+            self.t.current_input_root = root
+            self.t.current_region = None
+            return self.t.process(e)
+        if policy == UpdatePolicy.SHARED:
+            self._shared.add(j)
+            return []
+        if fix.is_fixed(j):
+            if e.kind == SM:
+                # The consumer ignores updates here: the content is ordinary
+                # stream data, processed against the live state, no copies,
+                # and the bracket disappears from the output.
+                self._alias_live.add(j)
+                if policy in (UpdatePolicy.TRANSPARENT, UpdatePolicy.TEE):
+                    return [e]
+                return []
+            # A fixed sR/sB/sA target means the update is void: its content
+            # stays untracked and is ignored downstream.
+            return []
+        self._save()
+        if e.kind == SM:
+            base = self.end[self._key_of(i)]
+            self.order[j] = self._next_tick()
+        elif e.kind == SA:
+            base = self.end[self._key_of(i)]
+            self.order[j] = self._between_above(self._order_of(i))
+        elif e.kind == SR:
+            base = self.start[self._key_of(i)]
+            self.order[j] = self._order_of(i)
+        else:  # SB
+            base = self.start[self._key_of(i)]
+            self.order[j] = self._between_below(self._order_of(i))
+        self.start[j] = base
+        self.end[j] = base
+        self._regions.add(j)
+        # Positional containment, not temporal nesting: a mutable region
+        # lives inside its target; replace/insert content occupies a spot
+        # inside the target's own container (brackets may interleave).
+        if e.kind in (SM, SR):
+            self._parent[j] = i if i in self._regions else None
+        else:
+            self._parent[j] = (self._parent.get(i)
+                               if i in self._regions else None)
+        self._bracket_stack.append(j)
+        self.peak_states = max(self.peak_states, len(self._regions) + 1)
+        # Bracket emission per policy.
+        if policy == UpdatePolicy.TRANSPARENT:
+            return [e]
+        if policy == UpdatePolicy.CONSUME:
+            return []
+        j_out = self.ctx.fresh_id()
+        self._out_region[j] = j_out
+        self._anchor_at_open[j] = self.t.bracket_anchor()
+        if e.kind == SM:
+            fix.declare_mutable(j_out)
+        else:
+            fix.inherit(self._out_target(i), j_out)
+        translated = Event(e.kind, self._out_target(i), sub=j_out)
+        if policy == UpdatePolicy.TEE:
+            return [e, translated]
+        return [translated]
+
+    def _on_update_end(self, e: Event) -> List[Event]:
+        i, j = e.id, e.sub
+        if j in self._raw:
+            self._load(LIVE)
+            self.t.current_input_root = self._root.get(j)
+            self.t.current_region = None
+            return self.t.process(e)
+        if j in self._shared:
+            return []
+        if j in self._alias_live:
+            self._alias_live.discard(j)
+            policy = self._policy(j)
+            if policy in (UpdatePolicy.TRANSPARENT, UpdatePolicy.TEE):
+                return [e]
+            return []
+        if j not in self._regions:
+            return self.t.on_other(e)
+        if j in self._bracket_stack:
+            self._bracket_stack.remove(j)
+        self._save()
+        out: List[Event] = []
+        policy = self._policy(j)
+        j_out = self._out_region.get(j)
+        if policy == UpdatePolicy.TRANSPARENT:
+            out.append(e)
+        elif policy == UpdatePolicy.TEE:
+            if j_out is not None:
+                out.append(Event(e.kind, self._out_target(i), sub=j_out))
+            out.append(e)
+        elif policy == UpdatePolicy.TRANSLATE and j_out is not None:
+            out.append(Event(e.kind, self._out_target(i), sub=j_out))
+        kind = e.kind
+        key_i = self._key_of(i)
+        if key_i not in self.end or j not in self.end:
+            # The target's state was already pruned (frozen mid-bracket):
+            # nothing to commit.
+            self._loaded = LIVE
+            self.t.set_state(self.end[LIVE])
+            return out
+        # An update completing inside a *hidden* region contributes to
+        # that region's shadow (revealed by a later show), never to the
+        # live state: hidden content has no visible effect.
+        anchor = self._hidden_anchor(key_i)
+        if anchor is not None and kind in (EM, ER):
+            if kind == ER:
+                if key_i == anchor:
+                    # Wholesale replacement of the hidden region itself.
+                    self.shadow[anchor] = self.end[j]
+                else:
+                    self.shadow[anchor] = self.t.adjust(
+                        self.shadow[anchor], self.end[key_i], self.end[j])
+                if key_i is not LIVE:
+                    self.end[key_i] = self.end[j]
+            else:  # EM nested below a hidden region: plain commit
+                self.end[key_i] = self.t.adjust(
+                    self.end[key_i], self.start[j], self.end[j]) \
+                    if not self.t.inert else (
+                        self.end[j] if self.end[key_i] == self.start[j]
+                        else self.end[key_i])
+            self._loaded = LIVE
+            self.t.set_state(self.end[LIVE])
+            return out
+        if kind == EM:
+            # The paper's "end[id] <- end[uid]", generalized to a delta
+            # adjustment: content of sibling regions may have interleaved
+            # with this bracket, so the enclosing state absorbs the
+            # region's *transition* rather than its absolute snapshot.
+            # (Linear case: end-of(i) == start[j], so the adjust laws give
+            # exactly end[j] — the paper's rule.)
+            old_enc = self.end[key_i]
+            becomes = self.t.adjust(old_enc, self.start[j], self.end[j])
+            if self.t.inert:
+                becomes = self.end[j] if old_enc == self.start[j] \
+                    else old_enc
+            self.end[key_i] = becomes
+            if key_i is LIVE:
+                # Make the in-object state current *before* asking the
+                # transformer to re-emit its visible value.
+                self._loaded = LIVE
+                self.t.set_state(becomes)
+            if (self.t.suppress_region_output and not self.t.inert
+                    and key_i is LIVE and old_enc != becomes):
+                out.extend(self.t.on_live_adjusted(old_enc, becomes))
+        elif kind == ER:
+            s1, s2 = self.end[key_i], self.end[j]
+            if not self.t.inert:
+                out.extend(self.t.on_transition(j, s1, s2))
+                self._adjust_later(j, s1, s2, out)
+            if key_i is not LIVE:
+                # The replaced region's own end state is now the
+                # replacement's; the live state was already fixed up by
+                # the adjustment above.
+                self.end[key_i] = self.end[j]
+            elif self.t.inert:
+                self.end[key_i] = self.end[j]
+        else:  # EA / EB
+            s1, s2 = self.start[j], self.end[j]
+            if not self.t.inert:
+                out.extend(self.t.on_transition(j, s1, s2))
+                self._adjust_later(j, s1, s2, out)
+        self._loaded = LIVE
+        self.t.set_state(self.end[LIVE])
+        return out
+
+    def _on_hide(self, e: Event) -> List[Event]:
+        uid = e.id
+        if uid in self._raw:
+            self._load(LIVE)
+            self.t.current_input_root = self._root.get(uid)
+            self.t.current_region = None
+            return self.t.process(e)
+        if uid in self._shared:
+            return list(self.t.on_region_hidden(uid))
+        if uid not in self._regions or self.ctx.fix.is_fixed(uid):
+            return self.t.on_other(e)
+        if uid in self.shadow:
+            # Already hidden: hide is idempotent (a second hide must not
+            # overwrite the shadow with the already-hidden state).
+            return self._forward_toggle(e, uid)
+        self._save()
+        out = self._forward_toggle(e, uid)
+        s_end, s_start = self.end[uid], self.start[uid]
+        anchor = self._hidden_anchor(self._parent.get(uid))
+        if anchor is not None:
+            # Hiding inside an already-hidden region only shifts shadows.
+            self.shadow[anchor] = self.t.adjust(self.shadow[anchor],
+                                                s_end, s_start)
+        elif not self.t.inert:
+            out.extend(self.t.on_transition(uid, s_end, s_start))
+            self._adjust_later(uid, s_end, s_start, out)
+        self.shadow[uid] = s_end
+        self.end[uid] = s_start
+        if anchor is None and not self.t.inert:
+            out.extend(self.t.on_region_hidden(uid))
+        self._reload()
+        return out
+
+    def _on_show(self, e: Event) -> List[Event]:
+        uid = e.id
+        if uid in self._raw:
+            self._load(LIVE)
+            self.t.current_input_root = self._root.get(uid)
+            self.t.current_region = None
+            return self.t.process(e)
+        if uid in self._shared:
+            return list(self.t.on_region_shown(uid))
+        if uid not in self._regions or self.ctx.fix.is_fixed(uid):
+            return self.t.on_other(e)
+        if uid not in self.shadow:
+            return self._forward_toggle(e, uid)  # show without hide: no-op
+        self._save()
+        out = self._forward_toggle(e, uid)
+        s_end, s_shadow = self.end[uid], self.shadow.pop(uid)
+        anchor = self._hidden_anchor(self._parent.get(uid))
+        if anchor is not None:
+            self.shadow[anchor] = self.t.adjust(self.shadow[anchor],
+                                                s_end, s_shadow)
+        elif not self.t.inert:
+            out.extend(self.t.on_transition(uid, s_end, s_shadow))
+            self._adjust_later(uid, s_end, s_shadow, out)
+        self.end[uid] = s_shadow
+        if anchor is None and not self.t.inert:
+            out.extend(self.t.on_region_shown(uid))
+        self._reload()
+        return out
+
+    def _forward_toggle(self, e: Event, uid: int) -> List[Event]:
+        """Forward hide/show/freeze per the region's policy."""
+        policy = self._policy(uid)
+        if policy == UpdatePolicy.CONSUME:
+            return []
+        if policy == UpdatePolicy.TRANSPARENT:
+            return [e]
+        j_out = self._out_region.get(uid)
+        translated = [] if j_out is None else [Event(e.kind, j_out)]
+        if policy == UpdatePolicy.TEE:
+            return [e] + translated
+        return translated
+
+    def _on_freeze(self, e: Event) -> List[Event]:
+        uid = e.id
+        self.ctx.fix.freeze(uid)
+        if uid in self._raw:
+            self._load(LIVE)
+            self.t.current_input_root = self._root.get(uid)
+            self.t.current_region = None
+            self._raw.discard(uid)
+            self._root.pop(uid, None)
+            return self.t.process(e)
+        if uid in self._shared:
+            self._shared.discard(uid)
+            self._root.pop(uid, None)
+            return []
+        out: List[Event] = []
+        if uid in self._regions or uid in self._alias_live:
+            out = self._forward_toggle(e, uid)
+            if not self.t.inert:
+                out.extend(self.t.on_region_frozen(uid))
+            j_out = self._out_region.pop(uid, None)
+            if j_out is not None:
+                self.ctx.fix.freeze(j_out)
+            # Section V: a fixed id's states are removed immediately.
+            self._save()
+            if self._loaded == uid:
+                self._loaded = LIVE
+                self.t.set_state(self.end[LIVE])
+            self._regions.discard(uid)
+            self._alias_live.discard(uid)
+            self.start.pop(uid, None)
+            self.end.pop(uid, None)
+            self.shadow.pop(uid, None)
+            self.order.pop(uid, None)
+            self._root.pop(uid, None)
+            self._anchor_at_open.pop(uid, None)
+            self._inner.pop(uid, None)
+            if uid in self._bracket_stack:
+                self._bracket_stack.remove(uid)
+            return out
+        return self.t.on_other(e)
+
+    def _reload(self) -> None:
+        self.t.set_state(self.end[self._loaded])
+
+    # -- adjustment --------------------------------------------------------------------
+
+    def _region_chain(self, eid: int) -> tuple:
+        chain = []
+        k: Optional[int] = eid
+        while k is not None:
+            chain.append(k)
+            k = self._parent.get(k)
+        return tuple(chain)
+
+    def _hidden_anchor(self, key: object) -> Optional[int]:
+        """The nearest positionally-enclosing hidden region (or None)."""
+        k = key if key is not LIVE else None
+        while k is not None:
+            if k in self.shadow:
+                return k
+            k = self._parent.get(k)
+        return None
+
+    def _nearest_open(self, uid: int) -> Optional[int]:
+        """The innermost still-open bracket enclosing ``uid`` (None=live)."""
+        p = self._parent.get(uid)
+        while p is not None and p not in self._bracket_stack:
+            p = self._parent.get(p)
+        return p
+
+    def _adjust_later(self, uid: int, s1: State, s2: State,
+                      out: List[Event]) -> None:
+        """The paper's ``adj``, causally scoped.
+
+        An update's delta is visible only within the innermost bracket
+        that is still open around it (its accumulated ``end`` state), plus
+        the sibling regions inside that bracket that come after the update
+        in display order; everything outside receives the delta when that
+        bracket itself commits.  When no enclosing bracket is open, this
+        degenerates to the paper's flat rule: adjust every later region
+        and the live state.
+        """
+        if s1 == s2:
+            return
+        enclosing = self._nearest_open(uid)
+        pivot = self.order[uid]
+        adjust = self.t.adjust
+        for k in self._regions:
+            if k == uid or k == enclosing:
+                continue
+            if self._nearest_open(k) != enclosing:
+                continue
+            o = self.order[k]
+            if o is not None and pivot is not None and o <= pivot:
+                continue
+            self.start[k] = adjust(self.start[k], s1, s2)
+            self.end[k] = adjust(self.end[k], s1, s2)
+            if k in self.shadow:
+                self.shadow[k] = adjust(self.shadow[k], s1, s2)
+        if enclosing is None:
+            old = self.end[LIVE]
+            new = adjust(old, s1, s2)
+            if new != old:
+                self.end[LIVE] = new
+                # Materialize the adjusted live state before the emission
+                # hook: transformers re-emit from their in-object fields.
+                self._loaded = LIVE
+                self.t.set_state(new)
+                out.extend(self.t.on_live_adjusted(old, new))
+        else:
+            self.end[enclosing] = adjust(self.end[enclosing], s1, s2)
+            if self._loaded == enclosing:
+                self.t.set_state(self.end[enclosing])
+
+    # -- order timestamps ------------------------------------------------------------------
+
+    def _next_tick(self) -> Fraction:
+        self._tick += 1
+        return self._tick
+
+    def _between_above(self, o: Fraction) -> Fraction:
+        higher = [v for v in self.order.values()
+                  if v is not None and v > o]
+        return (o + min(higher)) / 2 if higher else o + 1
+
+    def _between_below(self, o: Fraction) -> Fraction:
+        lower = [v for v in self.order.values()
+                 if v is not None and v < o]
+        return (o + max(lower)) / 2 if lower else o - 1
+
+    # -- accounting ----------------------------------------------------------------------------
+
+    def state_cells(self) -> int:
+        """Retained state size (cells) across all live copies."""
+        self._save()
+        total = 0
+        for m in (self.start, self.end, self.shadow):
+            for state in m.values():
+                total += self.t.state_cells(state)
+        return total
+
+    def live_regions(self) -> int:
+        return len(self._regions)
+
+    def __repr__(self) -> str:
+        return "UpdateWrapper({!r})".format(self.t)

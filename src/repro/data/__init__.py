@@ -1,0 +1,13 @@
+"""Synthetic dataset generators: XMark-like, DBLP-like, stock ticker."""
+
+from .dblp import DBLPGenerator
+from .dblp import generate as generate_dblp
+from .stock import SYMBOLS, StockTicker
+from .xmark import XMarkGenerator
+from .xmark import generate as generate_xmark
+
+__all__ = [
+    "XMarkGenerator", "generate_xmark",
+    "DBLPGenerator", "generate_dblp",
+    "StockTicker", "SYMBOLS",
+]

@@ -1,0 +1,131 @@
+"""A stock-ticker update stream generator (paper Sections I and V).
+
+The paper's motivating continuous-update source: a finite prefix of stock
+quotes followed by an unbounded stream of embedded updates.  Quote *names*
+are immutable (plain events); quote *prices* (and optionally names, to
+exercise predicate revocation) sit inside mutable regions that later
+replace-updates target — the element-granularity update discipline the
+engine's predicates re-evaluate on (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from ..events.model import (Event, cdata, end_element, end_mutable,
+                            end_replace, end_stream, freeze,
+                            start_element, start_mutable, start_replace,
+                            start_stream)
+
+SYMBOLS = ("IBM", "MSFT", "AAPL", "ORCL", "GOOG", "AMZN", "INTC", "CSCO")
+
+
+class StockTicker:
+    """Generate a quotes document with embedded price/name updates.
+
+    Args:
+        symbols: ticker symbols, one ``<quote>`` each.
+        n_updates: number of update events appended after the snapshot.
+        name_update_fraction: fraction of updates that change a quote's
+            *name* rather than its price (these flip predicates).
+        mutable_names: wrap names in mutable regions (required for name
+            updates; price-only streams keep names immutable like the
+            paper's Section V example).
+        seed: determinism.
+        stream_id: the global stream number.
+        first_region: first update-region number to allocate.
+    """
+
+    def __init__(self, symbols: Sequence[str] = SYMBOLS,
+                 n_updates: int = 50,
+                 name_update_fraction: float = 0.1,
+                 mutable_names: bool = True, seed: int = 11,
+                 stream_id: int = 0, first_region: int = 1,
+                 freeze_superseded: bool = True) -> None:
+        self.symbols = list(symbols)
+        self.n_updates = n_updates
+        self.name_update_fraction = name_update_fraction
+        self.mutable_names = mutable_names
+        self.seed = seed
+        self.stream_id = stream_id
+        self.first_region = first_region
+        #: A well-behaved producer freezes a region it has replaced: it
+        #: will never target the superseded id again, and the freeze lets
+        #: every consumer drop its state (the paper's Section V).  Turn
+        #: off to measure the cost of unbounded openness.
+        self.freeze_superseded = freeze_superseded
+
+    def events(self) -> List[Event]:
+        return list(self.iter_events())
+
+    def iter_events(self) -> Iterator[Event]:
+        rng = random.Random(self.seed)
+        sid = self.stream_id
+        next_region = self.first_region
+        # Active (latest) region ids per quote field, for cascaded updates.
+        name_regions: List[Optional[int]] = []
+        price_regions: List[int] = []
+        prices: List[float] = []
+
+        yield start_stream(sid)
+        yield start_element(sid, "quotes")
+        for symbol in self.symbols:
+            price = round(rng.uniform(10, 500), 2)
+            prices.append(price)
+            yield start_element(sid, "quote")
+            if self.mutable_names:
+                region = next_region
+                next_region += 1
+                name_regions.append(region)
+                yield start_mutable(sid, region)
+                yield start_element(region, "name")
+                yield cdata(region, symbol)
+                yield end_element(region, "name")
+                yield end_mutable(sid, region)
+            else:
+                name_regions.append(None)
+                yield start_element(sid, "name")
+                yield cdata(sid, symbol)
+                yield end_element(sid, "name")
+            region = next_region
+            next_region += 1
+            price_regions.append(region)
+            yield start_mutable(sid, region)
+            yield start_element(region, "price")
+            yield cdata(region, "{:.2f}".format(price))
+            yield end_element(region, "price")
+            yield end_mutable(sid, region)
+            yield end_element(sid, "quote")
+
+        for _ in range(self.n_updates):
+            idx = rng.randrange(len(self.symbols))
+            update_name = (self.mutable_names
+                           and rng.random() < self.name_update_fraction)
+            new_region = next_region
+            next_region += 1
+            if update_name:
+                target = name_regions[idx]
+                new_symbol = rng.choice(self.symbols)
+                name_regions[idx] = new_region
+                yield start_replace(target, new_region)
+                yield start_element(new_region, "name")
+                yield cdata(new_region, new_symbol)
+                yield end_element(new_region, "name")
+                yield end_replace(target, new_region)
+                if self.freeze_superseded:
+                    yield freeze(target)
+            else:
+                target = price_regions[idx]
+                prices[idx] = round(
+                    max(1.0, prices[idx] * rng.uniform(0.95, 1.05)), 2)
+                price_regions[idx] = new_region
+                yield start_replace(target, new_region)
+                yield start_element(new_region, "price")
+                yield cdata(new_region, "{:.2f}".format(prices[idx]))
+                yield end_element(new_region, "price")
+                yield end_replace(target, new_region)
+                if self.freeze_superseded:
+                    yield freeze(target)
+        yield end_element(sid, "quotes")
+        yield end_stream(sid)

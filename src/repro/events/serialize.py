@@ -1,0 +1,147 @@
+"""Textual (de)serialization of event streams.
+
+The format is the paper's abbreviated notation, one event per whitespace- or
+comma-separated token::
+
+    sS(0) sE(0,"name") cD(0,"Smith") eE(0,"name") eS(0)
+    sM(0,1) cD(1,"x") eM(0,1) sR(1,2) cD(2,"y") eR(1,2)
+
+This is used by tests (worked examples from the paper transcribe directly),
+by debugging tools, and by the examples to show the wire format.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Sequence
+
+from .model import (ABBREV_TO_KIND, CD, EE, FREEZE, HIDE, SE, SHOW,
+                    UPDATE_ENDS, UPDATE_STARTS, Event, Kind)
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?P<name>[a-zA-Z]+)\(
+        (?P<args>(?:[^()"]|"(?:[^"\\]|\\.)*")*)
+        \)[\s,]*""",
+    re.VERBOSE,
+)
+_ARG_RE = re.compile(r'\s*(?:"(?P<str>(?:[^"\\]|\\.)*)"|(?P<num>-?\d+))\s*,?')
+
+
+class EventSyntaxError(ValueError):
+    """Raised when an event-stream text cannot be parsed."""
+
+
+def event_to_text(e: Event) -> str:
+    """Serialize one event in the paper's notation."""
+    args: List[str] = [str(e.id)]
+    if e.sub is not None:
+        args.append(str(e.sub))
+    if e.tag is not None:
+        args.append('"{}"'.format(_escape(e.tag)))
+    if e.text is not None:
+        args.append('"{}"'.format(_escape(e.text)))
+    return "{}({})".format(e.abbrev, ",".join(args))
+
+
+def dumps(events: Iterable[Event], per_line: int = 8) -> str:
+    """Serialize a sequence of events, ``per_line`` events per line."""
+    toks = [event_to_text(e) for e in events]
+    lines = [" ".join(toks[i:i + per_line])
+             for i in range(0, len(toks), per_line)]
+    return "\n".join(lines)
+
+
+def loads(text: str) -> List[Event]:
+    """Parse a stream serialized by :func:`dumps` (or typed by hand)."""
+    return list(iter_loads(text))
+
+
+def iter_loads(text: str) -> Iterator[Event]:
+    pos = 0
+    stripped = text.strip()
+    if stripped.startswith("[") and stripped.endswith("]"):
+        text = stripped[1:-1]
+    while pos < len(text):
+        if text[pos:].strip() == "":
+            return
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise EventSyntaxError(
+                "cannot parse event at ...{!r}".format(text[pos:pos + 40]))
+        pos = m.end()
+        name = m.group("name")
+        kind = ABBREV_TO_KIND.get(name)
+        if kind is None:
+            raise EventSyntaxError("unknown event name {!r}".format(name))
+        yield _build(kind, _parse_args(m.group("args")))
+
+
+def _parse_args(argtext: str) -> List[object]:
+    args: List[object] = []
+    pos = 0
+    while pos < len(argtext):
+        if argtext[pos:].strip() == "":
+            break
+        m = _ARG_RE.match(argtext, pos)
+        if not m:
+            raise EventSyntaxError(
+                "cannot parse arguments {!r}".format(argtext))
+        pos = m.end()
+        if m.group("str") is not None:
+            args.append(_unescape(m.group("str")))
+        else:
+            args.append(int(m.group("num")))
+    return args
+
+
+def _build(kind: Kind, args: Sequence[object]) -> Event:
+    def need(n: int) -> None:
+        if len(args) != n:
+            raise EventSyntaxError(
+                "{} expects {} arguments, got {!r}".format(kind, n, args))
+
+    if kind in (SE, EE):
+        need(2)
+        return Event(kind, _as_int(args[0]), tag=_as_str(args[1]))
+    if kind == CD:
+        need(2)
+        text = args[1]
+        # The paper writes counters as bare numbers: cD(1, 0).
+        return Event(kind, _as_int(args[0]), text=str(text))
+    if kind in UPDATE_STARTS or kind in UPDATE_ENDS:
+        need(2)
+        return Event(kind, _as_int(args[0]), sub=_as_int(args[1]))
+    if kind in (FREEZE, HIDE, SHOW):
+        need(1)
+        return Event(kind, _as_int(args[0]))
+    need(1)
+    return Event(kind, _as_int(args[0]))
+
+
+def _as_int(x: object) -> int:
+    if not isinstance(x, int):
+        raise EventSyntaxError("expected integer, got {!r}".format(x))
+    return x
+
+
+def _as_str(x: object) -> str:
+    return x if isinstance(x, str) else str(x)
+
+
+def _escape(s: str) -> str:
+    return s.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape(s: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(s):
+        c = s[i]
+        if c == "\\" and i + 1 < len(s):
+            nxt = s[i + 1]
+            out.append({"n": "\n", "t": "\t"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)

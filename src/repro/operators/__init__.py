@@ -1,0 +1,27 @@
+"""XQuery stream operators (one state transformer per operation)."""
+
+from .aggregate import CountItems, MinMaxAggregate, NumericAggregate
+from .axes import ChildStep, SelfStep, StringValue, TextStep
+from .backward import AncestorJoin
+from .clone import Tee
+from .concat import Concat
+from .construct import StreamConstruct, TupleConstruct
+from .descendant import DescendantStep
+from .flwor import ForTuples, TupleStrip
+from .functions import (CompareLiteral, ContainsLiteral, ExistsFlag,
+                        LiteralText, compare_values)
+from .predicate import (SCOPE_ITEM, SCOPE_TUPLE, InlinePipeline, Predicate)
+from .sorting import SortTuples, sort_key
+
+__all__ = [
+    "ChildStep", "TextStep", "SelfStep", "StringValue",
+    "DescendantStep",
+    "Predicate", "InlinePipeline", "SCOPE_ITEM", "SCOPE_TUPLE",
+    "CompareLiteral", "ContainsLiteral", "ExistsFlag", "LiteralText",
+    "compare_values",
+    "Concat", "SortTuples", "sort_key",
+    "CountItems", "NumericAggregate", "MinMaxAggregate",
+    "AncestorJoin", "Tee",
+    "ForTuples", "TupleStrip",
+    "StreamConstruct", "TupleConstruct",
+]

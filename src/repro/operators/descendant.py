@@ -1,0 +1,126 @@
+"""Descendant steps ``//*`` and ``//tag`` (paper Section VI-C).
+
+``//*`` over recursive data is unbounded when implemented by buffering:
+each inner element must be emitted *before* its enclosing element completes
+(the paper generates subelements in postorder).  The update-stream trick
+makes it bufferless: every event at nesting level ``d`` is emitted once per
+enclosing selected element at the moment it is received, and each nested
+match is bracketed by an insert-before update that retroactively moves its
+copy ahead of the enclosing copy.
+
+Outermost (level-1) matches are emitted *plain*, preceded by an empty
+mutable **anchor region**: should a nested match occur, its insert-before
+targets the anchor, landing just before the outer copy.  For non-recursive
+``//tag`` no nested match ever occurs, so apart from the (tiny, immediately
+frozen) anchors the step degenerates to a plain filter — the paper's
+"as efficient as /tag" — and composes transparently with FLWOR machinery.
+
+State: the depth counter and one substream id per open nesting level; no
+event is ever buffered.  Generated regions are frozen as soon as they
+close (Section V), so downstream stages and the display drop their state
+immediately; the pooled region ids are re-declared by later siblings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..events.model import (CD, EE, ES, ET, SE, SS, ST, Event,
+                            end_insert_before, end_mutable, freeze,
+                            start_insert_before, start_mutable)
+from ..core.transformer import Context, State, StateTransformer
+
+_STRUCTURAL = (SS, ES, ST, ET)
+
+
+class DescendantStep(StateTransformer):
+    """``//*`` (``tag=None``) or ``//tag``: proper descendants, postorder.
+
+    The input is a forest stream; for each top-level element the step
+    selects every proper descendant (or every descendant with the given
+    tag; a match nested in another match counts from its own level).
+    Matching the paper, nested results come out in postorder.
+    """
+
+    inert = True
+
+    def __init__(self, ctx: Context, input_id: int, output_id: int,
+                 tag: Optional[str], freeze_regions: bool = True) -> None:
+        super().__init__(ctx, (input_id,), output_id)
+        self.tag = tag
+        self.freeze_regions = freeze_regions
+        self.depth = 0
+        #: Open selected levels: (copy_id, region_id) — copy_id labels the
+        #: level's copy events (output_id when plain), region_id is the
+        #: anchor/bracket that nested inserts target.  Ids are freshly
+        #: allocated per match (the paper's "new id"): pooled ids would
+        #: collide when several update regions are processed concurrently.
+        self.levels: Tuple[Tuple[int, int], ...] = ()
+
+    def get_state(self) -> State:
+        return (self.depth, self.levels)
+
+    def set_state(self, state: State) -> None:
+        self.depth, self.levels = state
+
+    def process(self, e: Event) -> List[Event]:
+        kind = e.kind
+        if kind in _STRUCTURAL:
+            return [e.relabel(self.output_id)]
+        if kind == SE:
+            out: List[Event] = [Event(SE, cid, tag=e.tag, oid=e.oid)
+                                for cid, _ in self.levels]
+            if self.depth >= 1 and (self.tag is None or e.tag == self.tag):
+                if not self.levels:
+                    anchor = self.ctx.fresh_id()
+                    out.extend((start_mutable(self.output_id, anchor),
+                                end_mutable(self.output_id, anchor),
+                                Event(SE, self.output_id, tag=e.tag,
+                                      oid=e.oid)))
+                    self.levels = ((self.output_id, anchor),)
+                else:
+                    nid = self.ctx.fresh_id()
+                    out.extend((start_insert_before(self.levels[-1][1], nid),
+                                Event(SE, nid, tag=e.tag, oid=e.oid)))
+                    self.levels = self.levels + ((nid, nid),)
+            self.depth += 1
+            return out
+        if kind == EE:
+            self.depth -= 1
+            out = []
+            if self.levels and self._closes_top(e):
+                copy_id, region_id = self.levels[-1]
+                self.levels = self.levels[:-1]
+                out.append(Event(EE, copy_id, tag=e.tag, oid=e.oid))
+                if self.levels:
+                    out.append(end_insert_before(self.levels[-1][1],
+                                                 copy_id))
+                    if self.freeze_regions:
+                        out.append(freeze(copy_id))
+                elif self.freeze_regions:
+                    out.append(freeze(region_id))  # seal the anchor
+            out.extend(Event(EE, cid, tag=e.tag, oid=e.oid)
+                       for cid, _ in reversed(self.levels))
+            return out
+        # cD
+        return [Event(CD, cid, text=e.text, oid=e.oid)
+                for cid, _ in self.levels]
+
+    def _closes_top(self, e: Event) -> bool:
+        """Does this eE close the innermost open selected level?
+
+        Elements nest LIFO; a closing tag that passes the tag test at depth
+        >= 1 necessarily closes the element that opened the top level (any
+        deeper matches have already closed), mirroring the sE test.  For
+        ``//*`` the level count equals the depth, which double-checks it.
+        """
+        if self.depth < 1:
+            return False
+        if self.tag is not None:
+            return e.tag == self.tag
+        return len(self.levels) == self.depth
+
+    def __repr__(self) -> str:
+        return "DescendantStep(//{}: {} -> {})".format(
+            self.tag if self.tag is not None else "*",
+            self.input_ids[0], self.output_id)

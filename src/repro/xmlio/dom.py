@@ -1,0 +1,189 @@
+"""A minimal in-memory XML tree (the reproduction's own mini-DOM).
+
+Used by the naive (blocking) baseline evaluator, by the eager
+update-application oracle, and throughout the test-suite to state
+"streaming result == tree result" properties.  It is intentionally small:
+elements, text nodes, parent pointers, document order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..events.model import CD, EE, SE, Event, cdata, end_element, \
+    start_element
+from .tokenizer import tokenize
+from .writer import escape_text
+
+
+class Node:
+    """Common base for tree nodes."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Optional["Element"] = None
+
+    # Subclasses implement: string_value, to_xml, to_events.
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+
+class Text(Node):
+    """A character-data node."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    @property
+    def string_value(self) -> str:
+        return self.text
+
+    def to_xml(self) -> str:
+        return escape_text(self.text)
+
+    def to_events(self, stream_id: int = 0) -> List[Event]:
+        return [cdata(stream_id, self.text)]
+
+    def copy(self) -> "Text":
+        return Text(self.text)
+
+    def __repr__(self) -> str:
+        return "Text({!r})".format(self.text)
+
+
+class Element(Node):
+    """An element node with ordered children."""
+
+    __slots__ = ("tag", "children")
+
+    def __init__(self, tag: str,
+                 children: Optional[Sequence[Union["Element", Text,
+                                                   str]]] = None) -> None:
+        super().__init__()
+        self.tag = tag
+        self.children: List[Node] = []
+        for child in children or ():
+            self.append(child)
+
+    def append(self, child: Union["Element", Text, str]) -> "Element":
+        """Append a child (bare strings become Text nodes); returns self."""
+        node = Text(child) if isinstance(child, str) else child
+        node.parent = self
+        self.children.append(node)
+        return self
+
+    @property
+    def string_value(self) -> str:
+        """XPath string-value: concatenation of all descendant text."""
+        return "".join(c.string_value for c in self.children)
+
+    def child_elements(self, tag: Optional[str] = None) -> List["Element"]:
+        """Element children, optionally filtered by tag."""
+        return [c for c in self.children
+                if isinstance(c, Element) and (tag is None or c.tag == tag)]
+
+    def descendants_or_self(self) -> Iterator["Element"]:
+        """All element descendants including self, in document order."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.descendants_or_self()
+
+    def descendants(self, tag: Optional[str] = None) -> List["Element"]:
+        """Proper element descendants in document order, optional tag."""
+        out: List[Element] = []
+        for child in self.children:
+            if isinstance(child, Element):
+                for d in child.descendants_or_self():
+                    if tag is None or d.tag == tag:
+                        out.append(d)
+        return out
+
+    def to_xml(self) -> str:
+        inner = "".join(c.to_xml() for c in self.children)
+        return "<{0}>{1}</{0}>".format(self.tag, inner)
+
+    def to_events(self, stream_id: int = 0) -> List[Event]:
+        out = [start_element(stream_id, self.tag)]
+        for child in self.children:
+            out.extend(child.to_events(stream_id))
+        out.append(end_element(stream_id, self.tag))
+        return out
+
+    def copy(self) -> "Element":
+        el = Element(self.tag)
+        for child in self.children:
+            el.append(child.copy())  # type: ignore[arg-type]
+        return el
+
+    def __repr__(self) -> str:
+        return "Element({!r}, {} children)".format(self.tag,
+                                                   len(self.children))
+
+
+def parse(text: str) -> Element:
+    """Parse an XML document string into an :class:`Element` tree."""
+    roots = forest_from_events(tokenize(text))
+    elements = [r for r in roots if isinstance(r, Element)]
+    if len(elements) != 1:
+        raise ValueError("expected exactly one root element, got {}"
+                         .format(len(elements)))
+    return elements[0]
+
+
+def forest_from_events(events: Sequence[Event],
+                       stream_id: Optional[int] = None) -> List[Node]:
+    """Build a forest from plain sE/cD/eE events (sS/eS/sT/eT ignored).
+
+    Args:
+        events: the event sequence; must not contain update events.
+        stream_id: when given, only that stream's events are materialized.
+    """
+    roots: List[Node] = []
+    stack: List[Element] = []
+    for e in events:
+        if e.is_update:
+            raise ValueError("forest_from_events saw update event {}; "
+                             "apply updates first".format(e))
+        if stream_id is not None and e.id != stream_id:
+            continue
+        if e.kind == SE:
+            el = Element(e.tag or "")
+            if stack:
+                stack[-1].append(el)
+            else:
+                roots.append(el)
+            stack.append(el)
+        elif e.kind == EE:
+            if not stack or stack[-1].tag != (e.tag or ""):
+                raise ValueError("unbalanced events at {}".format(e))
+            stack.pop()
+        elif e.kind == CD:
+            node = Text(e.text or "")
+            if stack:
+                stack[-1].append(node)
+            else:
+                roots.append(node)
+    if stack:
+        raise ValueError("events ended with open elements")
+    return roots
+
+
+def forest_to_xml(forest: Sequence[Node]) -> str:
+    """Serialize a forest (e.g. a query result sequence) to XML text."""
+    return "".join(n.to_xml() for n in forest)

@@ -1,0 +1,372 @@
+"""A from-scratch streaming XML tokenizer.
+
+This is the SAX substitute the engine is built on: it turns XML text into
+the paper's event vocabulary (``sS``, ``sE``, ``cD``, ``eE``, ``eS``) without
+ever materializing a tree.  It is deliberately self-contained (no
+``xml.sax``): the paper's substrate is a SAX parser, and building it from
+scratch keeps the reproduction dependency-free and lets the benchmark
+harness count raw tokenization work the same way the paper's Table 1 does.
+
+Supported XML subset (ample for the paper's workloads):
+
+* elements with attributes (attributes are surfaced as hooks; by default
+  they are ignored, matching the paper's event model which has no attribute
+  events),
+* character data with the five predefined entities plus numeric character
+  references,
+* comments, processing instructions and DOCTYPE (skipped),
+* CDATA sections.
+
+The tokenizer is incremental: feed it arbitrary chunks with :meth:`feed`;
+it yields events as soon as they are complete, so it can sit behind a
+socket or a file of unbounded size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from ..events.model import (Event, cdata, end_element, end_stream,
+                            start_element, start_stream)
+
+
+class XMLSyntaxError(ValueError):
+    """Raised on malformed XML input."""
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__("{} (at byte offset {})".format(message, offset))
+        self.offset = offset
+
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+# Parser modes.
+_TEXT = 0
+_MARKUP = 1       # saw '<', gathering until the construct is classified
+_COMMENT = 2
+_CDATA_SECT = 3
+_PI = 4
+_DOCTYPE = 5
+
+
+class XMLTokenizer:
+    """Incremental XML-to-event tokenizer.
+
+    Args:
+        stream_id: the stream number stamped on emitted events.
+        emit_oids: when True, sE/eE/cD events carry a document-order node
+            identity (``oid``) as required by backward axes (Section VI-E).
+        keep_whitespace: when False (default), character data that is pure
+            whitespace between elements is dropped, like the paper's
+            tokenizer which reports 12.7M events for 224MB of XMark.
+        attribute_handler: optional callback ``(tag, name, value) -> None``
+            invoked for each attribute (the event model has no attribute
+            events; the XMark generator does not rely on attributes).
+    """
+
+    def __init__(self, stream_id: int = 0, emit_oids: bool = False,
+                 keep_whitespace: bool = False,
+                 attribute_handler: Optional[
+                     Callable[[str, str, str], None]] = None) -> None:
+        self.stream_id = stream_id
+        self.emit_oids = emit_oids
+        self.keep_whitespace = keep_whitespace
+        self.attribute_handler = attribute_handler
+        self._buf = ""
+        self._mode = _TEXT
+        self._offset = 0
+        self._stack: List[Tuple[str, Optional[int]]] = []
+        self._next_oid = 0
+        self._started = False
+        self._finished = False
+        self._text_parts: List[str] = []
+
+    # -- public API --------------------------------------------------------
+
+    def feed(self, chunk: str) -> List[Event]:
+        """Consume a chunk of XML text; return the newly completed events."""
+        if self._finished:
+            raise XMLSyntaxError("feed() after close()", self._offset)
+        self._buf += chunk
+        out: List[Event] = []
+        if not self._started:
+            self._started = True
+            out.append(start_stream(self.stream_id))
+        self._scan(out)
+        return out
+
+    def close(self) -> List[Event]:
+        """Signal end of input; return the trailing events (incl. eS)."""
+        if self._finished:
+            return []
+        self._finished = True
+        out: List[Event] = []
+        if not self._started:
+            self._started = True
+            out.append(start_stream(self.stream_id))
+        if self._mode != _TEXT or self._buf:
+            if self._buf.strip() or self._mode != _TEXT:
+                raise XMLSyntaxError("unexpected end of input", self._offset)
+        self._flush_text(out)
+        if self._stack:
+            raise XMLSyntaxError(
+                "input ended with unclosed elements: {}".format(
+                    [t for t, _ in self._stack]), self._offset)
+        out.append(end_stream(self.stream_id))
+        return out
+
+    def tokenize(self, text: str) -> Iterator[Event]:
+        """One-shot convenience: tokenize a complete document."""
+        yield from self.feed(text)
+        yield from self.close()
+
+    # -- scanning ----------------------------------------------------------
+
+    def _scan(self, out: List[Event]) -> None:
+        buf = self._buf
+        pos = 0
+        n = len(buf)
+        while pos < n:
+            if self._mode == _TEXT:
+                lt = buf.find("<", pos)
+                if lt < 0:
+                    self._text_parts.append((False, buf[pos:]))
+                    pos = n
+                    break
+                if lt > pos:
+                    self._text_parts.append((False, buf[pos:lt]))
+                pos = lt
+                self._mode = _MARKUP
+            elif self._mode == _MARKUP:
+                consumed = self._scan_markup(buf, pos, out)
+                if consumed is None:
+                    break
+                pos = consumed
+            elif self._mode == _COMMENT:
+                end = buf.find("-->", pos)
+                if end < 0:
+                    pos = max(pos, n - 2)
+                    break
+                pos = end + 3
+                self._mode = _TEXT
+            elif self._mode == _CDATA_SECT:
+                end = buf.find("]]>", pos)
+                if end < 0:
+                    if n - 2 > pos:
+                        self._text_parts.append((True, buf[pos:n - 2]))
+                    pos = max(pos, n - 2)
+                    break
+                self._text_parts.append((True, buf[pos:end]))
+                pos = end + 3
+                self._mode = _TEXT
+            elif self._mode == _PI:
+                end = buf.find("?>", pos)
+                if end < 0:
+                    pos = max(pos, n - 1)
+                    break
+                pos = end + 2
+                self._mode = _TEXT
+            elif self._mode == _DOCTYPE:
+                end = buf.find(">", pos)
+                if end < 0:
+                    pos = n
+                    break
+                pos = end + 1
+                self._mode = _TEXT
+        self._offset += pos
+        self._buf = buf[pos:]
+
+    def _scan_markup(self, buf: str, pos: int,
+                     out: List[Event]) -> Optional[int]:
+        """Classify and consume one markup construct starting at '<'.
+
+        Returns the new position, or None when more input is needed.
+        """
+        n = len(buf)
+        if pos + 1 >= n:
+            return None
+        c = buf[pos + 1]
+        if c == "!":
+            if buf.startswith("<!--", pos):
+                self._flush_text(out)
+                self._mode = _COMMENT
+                return pos + 4
+            if buf.startswith("<![CDATA[", pos):
+                self._mode = _CDATA_SECT
+                return pos + 9
+            if n - pos < 9:
+                return None  # cannot classify "<!..." yet
+            self._flush_text(out)
+            self._mode = _DOCTYPE
+            return pos + 2
+        if c == "?":
+            self._flush_text(out)
+            self._mode = _PI
+            return pos + 2
+        gt = buf.find(">", pos)
+        if gt < 0:
+            return None
+        raw = buf[pos + 1:gt]
+        self._flush_text(out)
+        if raw.startswith("/"):
+            self._end_tag(raw[1:].strip(), out)
+        elif raw.endswith("/"):
+            self._start_tag(raw[:-1], out)
+            self._pop_tag(out)
+        else:
+            self._start_tag(raw, out)
+        self._mode = _TEXT
+        return gt + 1
+
+    # -- element handling ----------------------------------------------------
+
+    def _start_tag(self, raw: str, out: List[Event]) -> None:
+        tag, attrs = _split_tag(raw, self._offset)
+        if not tag:
+            raise XMLSyntaxError("empty tag name", self._offset)
+        if self.attribute_handler is not None:
+            for name, value in attrs:
+                self.attribute_handler(tag, name, value)
+        oid = self._take_oid()
+        self._stack.append((tag, oid))
+        out.append(start_element(self.stream_id, tag, oid=oid))
+
+    def _end_tag(self, tag: str, out: List[Event]) -> None:
+        if not self._stack:
+            raise XMLSyntaxError(
+                "closing tag </{}> with no open element".format(tag),
+                self._offset)
+        open_tag, oid = self._stack[-1]
+        if open_tag != tag:
+            raise XMLSyntaxError(
+                "closing tag </{}> does not match <{}>".format(
+                    tag, open_tag), self._offset)
+        self._stack.pop()
+        out.append(end_element(self.stream_id, tag, oid=oid))
+
+    def _pop_tag(self, out: List[Event]) -> None:
+        tag, oid = self._stack.pop()
+        out.append(end_element(self.stream_id, tag, oid=oid))
+
+    def _flush_text(self, out: List[Event]) -> None:
+        if not self._text_parts:
+            return
+        parts = self._text_parts
+        self._text_parts = []
+        # CDATA-section segments are literal; only plain character data
+        # gets entity decoding (runs are joined first so an entity split
+        # across feed() chunks still decodes).
+        text = "".join(
+            seg if is_cdata else _decode_entities(seg, self._offset)
+            for is_cdata, seg in _merge_runs(parts))
+        if not self._stack:
+            if text.strip():
+                raise XMLSyntaxError(
+                    "character data outside the root element", self._offset)
+            return
+        if not self.keep_whitespace and not text.strip():
+            return
+        out.append(cdata(self.stream_id, text, oid=self._take_oid()))
+
+    def _take_oid(self) -> Optional[int]:
+        if not self.emit_oids:
+            return None
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+
+def _merge_runs(parts):
+    """Coalesce adjacent segments of the same kind (cdata vs plain)."""
+    merged: List[Tuple[bool, str]] = []
+    for is_cdata, seg in parts:
+        if merged and merged[-1][0] == is_cdata:
+            merged[-1] = (is_cdata, merged[-1][1] + seg)
+        else:
+            merged.append((is_cdata, seg))
+    return merged
+
+
+def _split_tag(raw: str, offset: int) -> Tuple[str, List[Tuple[str, str]]]:
+    """Split '<tag a="1" b="2"' body into (tag, [(name, value), ...])."""
+    raw = raw.strip()
+    if not raw:
+        return "", []
+    i = 0
+    n = len(raw)
+    while i < n and not raw[i].isspace():
+        i += 1
+    tag = raw[:i]
+    attrs: List[Tuple[str, str]] = []
+    while i < n:
+        while i < n and raw[i].isspace():
+            i += 1
+        if i >= n:
+            break
+        eq = raw.find("=", i)
+        if eq < 0:
+            raise XMLSyntaxError(
+                "malformed attribute in <{}>".format(tag), offset)
+        name = raw[i:eq].strip()
+        j = eq + 1
+        while j < n and raw[j].isspace():
+            j += 1
+        if j >= n or raw[j] not in "\"'":
+            raise XMLSyntaxError(
+                "unquoted attribute value in <{}>".format(tag), offset)
+        quote = raw[j]
+        end = raw.find(quote, j + 1)
+        if end < 0:
+            raise XMLSyntaxError(
+                "unterminated attribute value in <{}>".format(tag), offset)
+        attrs.append((name, _decode_entities(raw[j + 1:end], offset)))
+        i = end + 1
+    return tag, attrs
+
+
+def _decode_entities(text: str, offset: int) -> str:
+    if "&" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        amp = text.find("&", i)
+        if amp < 0:
+            out.append(text[i:])
+            break
+        out.append(text[i:amp])
+        semi = text.find(";", amp + 1)
+        if semi < 0 or semi - amp > 10:
+            raise XMLSyntaxError("unterminated entity reference", offset)
+        name = text[amp + 1:semi]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XMLSyntaxError(
+                "unknown entity &{};".format(name), offset)
+        i = semi + 1
+    return "".join(out)
+
+
+def tokenize(text: str, stream_id: int = 0, emit_oids: bool = False,
+             keep_whitespace: bool = False) -> List[Event]:
+    """Tokenize a complete XML document into a list of events."""
+    tok = XMLTokenizer(stream_id=stream_id, emit_oids=emit_oids,
+                       keep_whitespace=keep_whitespace)
+    return list(tok.tokenize(text))
+
+
+def iter_tokenize(chunks: Iterable[str], stream_id: int = 0,
+                  emit_oids: bool = False,
+                  keep_whitespace: bool = False) -> Iterator[Event]:
+    """Tokenize XML arriving in chunks, yielding events incrementally."""
+    tok = XMLTokenizer(stream_id=stream_id, emit_oids=emit_oids,
+                       keep_whitespace=keep_whitespace)
+    for chunk in chunks:
+        yield from tok.feed(chunk)
+    yield from tok.close()

@@ -1,0 +1,59 @@
+"""Serialize event streams back to XML text.
+
+Inverse of :mod:`repro.xmlio.tokenizer` for plain (update-free) streams:
+``parse(write(events)) == events`` for well-formed input.  The writer is
+also what the result display uses to render snapshots, so it tolerates
+forests (multiple top-level nodes) and bare top-level text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..events.model import CD, EE, ES, ET, SE, SS, ST, Event
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for inclusion in XML text."""
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def write_events(events: Iterable[Event], stream_id: Optional[int] = None,
+                 indent: Optional[str] = None) -> str:
+    """Render the plain events of one stream as XML text.
+
+    Args:
+        events: the event sequence (update events are rejected).
+        stream_id: when given, only events with this id are rendered;
+            otherwise all regular data events are rendered.
+        indent: optional indentation unit for pretty printing.
+
+    Returns:
+        the XML text (a forest is rendered as sibling elements).
+    """
+    parts: List[str] = []
+    depth = 0
+    for e in events:
+        if e.is_update:
+            raise ValueError(
+                "write_events cannot render update event {}; apply the "
+                "updates first (repro.core.regions.apply_updates)".format(e))
+        if stream_id is not None and e.id != stream_id:
+            continue
+        if e.kind == SE:
+            if indent is not None:
+                parts.append("\n" + indent * depth if parts else
+                             indent * depth)
+            parts.append("<{}>".format(e.tag))
+            depth += 1
+        elif e.kind == EE:
+            depth -= 1
+            parts.append("</{}>".format(e.tag))
+            if indent is not None and depth == 0:
+                parts.append("\n")
+        elif e.kind == CD:
+            parts.append(escape_text(e.text or ""))
+        elif e.kind in (SS, ES, ST, ET):
+            continue
+    return "".join(parts)

@@ -1,0 +1,12 @@
+"""XQuery frontend: parser, compiler, and the XFlux engine."""
+
+from . import ast
+from .compiler import CompileError, Compiler, Plan, compile_query
+from .engine import QueryRun, XFlux
+from .parser import XQuerySyntaxError, parse
+
+__all__ = [
+    "ast", "parse", "XQuerySyntaxError",
+    "Compiler", "Plan", "compile_query", "CompileError",
+    "XFlux", "QueryRun",
+]

@@ -1,0 +1,218 @@
+"""Abstract syntax for the supported XQuery subset.
+
+The subset covers everything the paper's nine benchmark queries and its
+introduction example use: rooted and variable-relative paths with child,
+descendant, text(), parent and ancestor steps; general predicates (path
+comparisons against literals, bare-path existence, contains); FLWOR with
+where / order by (ascending or descending) / return; element construction;
+sequence concatenation; string literals; and the count/sum/avg aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+
+class Expr:
+    """Base class of all AST nodes."""
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Source(Expr):
+    """The stream source: a dataset handle like ``X`` or ``stream()``."""
+
+    def __init__(self, name: str = "stream") -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "Source({})".format(self.name)
+
+
+class VarRef(Expr):
+    """A FLWOR variable reference ``$x``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "${}".format(self.name)
+
+
+#: Step axes.
+CHILD = "child"
+DESCENDANT = "descendant"
+TEXT = "text"
+PARENT = "parent"
+ANCESTOR = "ancestor"
+
+
+class Step(Expr):
+    """A navigation step applied to a base expression.
+
+    ``tag`` is None for the wildcard (``*``); unused for text().
+    """
+
+    def __init__(self, base: Expr, axis: str, tag: Optional[str]) -> None:
+        self.base = base
+        self.axis = axis
+        self.tag = tag
+
+    def children(self) -> Sequence[Expr]:
+        return (self.base,)
+
+    def __repr__(self) -> str:
+        sep = {CHILD: "/", DESCENDANT: "//", TEXT: "/text()",
+               PARENT: "/..", ANCESTOR: "/ancestor::"}[self.axis]
+        label = self.tag if self.tag is not None else "*"
+        if self.axis == TEXT:
+            return "{!r}{}".format(self.base, sep)
+        if self.axis == PARENT:
+            return "{!r}{}".format(self.base, sep)
+        return "{!r}{}{}".format(self.base, sep, label)
+
+
+class Filter(Expr):
+    """A predicate ``base[cond]``."""
+
+    def __init__(self, base: Expr, cond: Expr) -> None:
+        self.base = base
+        self.cond = cond
+
+    def children(self) -> Sequence[Expr]:
+        return (self.base, self.cond)
+
+    def __repr__(self) -> str:
+        return "{!r}[{!r}]".format(self.base, self.cond)
+
+
+class Compare(Expr):
+    """A general comparison of a path against a literal."""
+
+    def __init__(self, left: Expr, op: str, literal: str) -> None:
+        self.left = left
+        self.op = op
+        self.literal = literal
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left,)
+
+    def __repr__(self) -> str:
+        return "({!r} {} {!r})".format(self.left, self.op, self.literal)
+
+
+class BoolExpr(Expr):
+    """Conjunction or disjunction of conditions (predicates/where only)."""
+
+    def __init__(self, op: str, items) -> None:
+        if op not in ("and", "or"):
+            raise ValueError("bad boolean operator {!r}".format(op))
+        self.op = op
+        self.items = list(items)
+
+    def children(self) -> Sequence["Expr"]:
+        return tuple(self.items)
+
+    def __repr__(self) -> str:
+        return "({})".format((" " + self.op + " ").join(
+            repr(i) for i in self.items))
+
+
+class FunCall(Expr):
+    """count(e) / sum(e) / avg(e) / contains(e, "lit")."""
+
+    def __init__(self, name: str, args: Sequence[Expr],
+                 literal: Optional[str] = None) -> None:
+        self.name = name
+        self.args = list(args)
+        self.literal = literal  # for contains(expr, "literal")
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.args)
+
+    def __repr__(self) -> str:
+        return "{}({!r})".format(self.name, self.args)
+
+
+class StringLit(Expr):
+    """A string literal item (e.g. in a return sequence)."""
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class SequenceExpr(Expr):
+    """Comma concatenation ``(e1, e2, ...)``."""
+
+    def __init__(self, items: Sequence[Expr]) -> None:
+        self.items = list(items)
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.items)
+
+    def __repr__(self) -> str:
+        return "({})".format(", ".join(repr(i) for i in self.items))
+
+
+class ElementCtor(Expr):
+    """``<tag>{ content }</tag>`` — content is a list of Expr/StringLit."""
+
+    def __init__(self, tag: str, content: Sequence[Expr]) -> None:
+        self.tag = tag
+        self.content = list(content)
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.content)
+
+    def __repr__(self) -> str:
+        return "<{}>{{{!r}}}</{}>".format(self.tag, self.content, self.tag)
+
+
+class FLWOR(Expr):
+    """for $var in seq (let $v := e)* (where c)? (order by k)? return r."""
+
+    def __init__(self, var: str, seq: Expr, where: Optional[Expr],
+                 order_key: Optional[Expr], descending: bool,
+                 ret: Expr, lets: Optional[Sequence] = None) -> None:
+        self.var = var
+        self.seq = seq
+        self.lets = list(lets or ())  # [(name, Expr), ...]
+        self.where = where
+        self.order_key = order_key
+        self.descending = descending
+        self.ret = ret
+
+    def children(self) -> Sequence[Expr]:
+        out: List[Expr] = [self.seq]
+        out.extend(expr for _, expr in self.lets)
+        if self.where is not None:
+            out.append(self.where)
+        if self.order_key is not None:
+            out.append(self.order_key)
+        out.append(self.ret)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        parts = ["for ${} in {!r}".format(self.var, self.seq)]
+        if self.where is not None:
+            parts.append("where {!r}".format(self.where))
+        if self.order_key is not None:
+            parts.append("order by {!r}{}".format(
+                self.order_key, " descending" if self.descending else ""))
+        parts.append("return {!r}".format(self.ret))
+        return " ".join(parts)
+
+
+def uses_backward_axes(expr: Expr) -> bool:
+    """Does the query need source cloning (parent / ancestor steps)?"""
+    return any(isinstance(n, Step) and n.axis in (PARENT, ANCESTOR)
+               for n in expr.walk())

@@ -1,0 +1,141 @@
+"""XFlux: the public query engine.
+
+Typical use::
+
+    from repro import XFlux
+
+    engine = XFlux('X//europe//item[location="Albania"]/quantity')
+    result = engine.run_xml(open("auction.xml").read())
+    print(result.text())          # the final answer
+    print(result.stats())         # buffering metrics
+
+Continuous operation::
+
+    engine = XFlux('stream()//quote[name="IBM"]/price',
+                   mutable_source=True)
+    run = engine.start()
+    for event in ticker_events:
+        run.feed(event)
+        print(run.display.text())   # the continuously updated answer
+
+The engine compiles the query once per ``start()``/``run()`` (stream
+numbers are single-use) and pushes events through the transformer
+pipeline into a :class:`~repro.core.display.Display`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..core.display import Display
+from ..core.pipeline import Pipeline
+from ..core.transformer import Context
+from ..events.model import Event
+from ..xmlio.tokenizer import tokenize
+from .ast import Expr
+from .compiler import Compiler, Plan
+from .parser import parse
+
+
+class QueryRun:
+    """One live execution of a compiled query."""
+
+    def __init__(self, plan: Plan,
+                 on_change: Optional[Callable[[Event, Display],
+                                              None]] = None,
+                 track_snapshots: bool = False,
+                 ignore_updates: bool = False) -> None:
+        self.plan = plan
+        self.display = Display(plan.result_id, on_change=on_change,
+                               track_snapshots=track_snapshots)
+        self.pipeline = Pipeline(plan.ctx, plan.stages, self.display)
+        from ..events.model import UpdateStripper
+        self._stripper = UpdateStripper() if ignore_updates else None
+
+    def feed(self, event: Event) -> None:
+        if self._stripper is not None:
+            for e in self._stripper.feed(event):
+                self.pipeline.feed(e)
+            return
+        self.pipeline.feed(event)
+
+    def feed_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.feed(event)
+
+    def finish(self) -> "QueryRun":
+        self.pipeline.finish()
+        return self
+
+    # -- results ---------------------------------------------------------------
+
+    def text(self) -> str:
+        """The currently displayed answer."""
+        return self.display.text()
+
+    def events(self):
+        return self.display.events()
+
+    def stats(self) -> dict:
+        """Execution metrics: transformer calls and retained state."""
+        return {
+            "transformer_calls": self.pipeline.total_calls(),
+            "state_cells": self.pipeline.state_cells(),
+            "live_regions": self.pipeline.live_regions(),
+            "display": self.display.stats(),
+            "stages": len(self.pipeline.wrappers),
+        }
+
+
+class XFlux:
+    """A streaming XQuery processor built on update streams.
+
+    Args:
+        query: query text in the supported XQuery subset, or a parsed AST.
+        mutable_source: declare that the input stream embeds updates;
+            predicate/join decisions then stay revocable (more state,
+            Section V pruning off).  Leave False for plain documents.
+    """
+
+    def __init__(self, query, mutable_source: bool = False,
+                 ignore_updates: bool = False) -> None:
+        self.ast: Expr = parse(query) if isinstance(query, str) else query
+        self.query_text = query if isinstance(query, str) else repr(query)
+        self.mutable_source = mutable_source
+        #: Section V consumer opt-out: treat every incoming mutable region
+        #: as fixed content; updates targeting them become void and no
+        #: per-region state is ever retained.
+        self.ignore_updates = ignore_updates
+
+    def compile(self) -> Plan:
+        """Compile a fresh plan (stream numbers are single-use)."""
+        compiler = Compiler(ctx=Context(), source_id=0,
+                            mutable_source=self.mutable_source
+                            and not self.ignore_updates)
+        return compiler.compile(self.ast)
+
+    def start(self, on_change: Optional[Callable[[Event, Display],
+                                                 None]] = None,
+              track_snapshots: bool = False) -> QueryRun:
+        """Begin a continuous run; feed it events as they arrive."""
+        return QueryRun(self.compile(), on_change=on_change,
+                        track_snapshots=track_snapshots,
+                        ignore_updates=self.ignore_updates)
+
+    def run(self, events: Iterable[Event], **kwargs) -> QueryRun:
+        """Evaluate over a complete event stream."""
+        run = self.start(**kwargs)
+        run.feed_all(events)
+        return run.finish()
+
+    def run_xml(self, text: str, **kwargs) -> QueryRun:
+        """Evaluate over an XML document string (tokenized on the fly)."""
+        plan_probe = self.compile()
+        run = QueryRun(plan_probe, **kwargs)
+        events = tokenize(text, stream_id=plan_probe.source_id,
+                          emit_oids=plan_probe.needs_oids)
+        run.feed_all(events)
+        return run.finish()
+
+    def __repr__(self) -> str:
+        return "XFlux({!r})".format(self.query_text)

@@ -1,0 +1,330 @@
+"""Recursive-descent parser for the supported XQuery subset.
+
+Hand-rolled over the raw query text, because element constructors need a
+mode switch (XML content with ``{ expr }`` islands) that a conventional
+token stream handles poorly.  Grammar (informally)::
+
+    Query    := Expr
+    Expr     := FLWOR | Sequence
+    FLWOR    := 'for' '$'Name 'in' Expr ('where' Expr)?
+                ('order' 'by' Expr ('ascending'|'descending')?)?
+                'return' Expr
+    Sequence := Or (',' Or)*
+    Or       := Comparison             -- no and/or yet (chain predicates)
+    Comparison := Path (CmpOp Literal)?
+    Path     := Primary StepOrPred*
+    Primary  := '$'Name | FnCall | Ctor | StringLit | '(' Expr ')' | Name
+    StepOrPred := '/' NodeTest | '//' NodeTest | '/text()' | '/..'
+                | '/ancestor::' NodeTest | '[' Expr ']'
+    FnCall   := ('count'|'sum'|'avg') '(' Expr ')'
+              | 'contains' '(' Expr ',' StringLit ')'
+              | 'stream' '(' ')' | 'doc' '(' StringLit ')'
+    Ctor     := '<' Name '>' (text | '{' Sequence '}')* '</' Name '>'
+
+A bare Name in primary position is a dataset handle (the paper writes
+``X//europe...``), equivalent to ``stream()``; the engine binds it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .ast import (ANCESTOR, BoolExpr, CHILD, DESCENDANT, PARENT, TEXT,
+                  Compare, ElementCtor, Expr, Filter, FLWOR, FunCall,
+                  SequenceExpr, Source, Step, StringLit, VarRef)
+
+
+class XQuerySyntaxError(ValueError):
+    """Raised on malformed query text, with position information."""
+
+    def __init__(self, message: str, text: str, pos: int) -> None:
+        line = text.count("\n", 0, pos) + 1
+        col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+        super().__init__("{} (line {}, column {})".format(message, line,
+                                                          col))
+        self.pos = pos
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-]*")
+_STRING_RE = re.compile(r'"([^"\\]*(?:\\.[^"\\]*)*)"'
+                        r"|'([^'\\]*(?:\\.[^'\\]*)*)'")
+_WS_RE = re.compile(r"(?:\s+|\(:.*?:\))+", re.DOTALL)
+_CMP_OPS = ("<=", ">=", "!=", "=", "<", ">")
+_KEYWORDS = frozenset(("for", "in", "where", "order", "by", "return",
+                       "ascending", "descending", "let", "and", "or"))
+#: Curly quotes appear in queries copy-pasted from the paper's PDF.
+_QUOTE_FIXES = {"“": '"', "”": '"', "‘": "'",
+                "’": "'"}
+
+
+def parse(text: str) -> Expr:
+    """Parse a query string into an AST."""
+    for bad, good in _QUOTE_FIXES.items():
+        text = text.replace(bad, good)
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    parser.skip_ws()
+    if parser.pos < len(parser.text):
+        parser.fail("unexpected trailing input")
+    return expr
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def fail(self, message: str) -> None:
+        raise XQuerySyntaxError(message, self.text, self.pos)
+
+    def skip_ws(self) -> None:
+        m = _WS_RE.match(self.text, self.pos)
+        if m:
+            self.pos = m.end()
+
+    def peek(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def accept(self, token: str) -> bool:
+        if self.peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.accept(token):
+            self.fail("expected {!r}".format(token))
+
+    def peek_keyword(self, word: str) -> bool:
+        self.skip_ws()
+        end = self.pos + len(word)
+        if not self.text.startswith(word, self.pos):
+            return False
+        return end >= len(self.text) or not (self.text[end].isalnum()
+                                             or self.text[end] == "_")
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek_keyword(word):
+            self.pos += len(word)
+            return True
+        return False
+
+    def name(self) -> str:
+        self.skip_ws()
+        m = _NAME_RE.match(self.text, self.pos)
+        if not m:
+            self.fail("expected a name")
+        self.pos = m.end()
+        return m.group(0)
+
+    def string_literal(self) -> str:
+        self.skip_ws()
+        m = _STRING_RE.match(self.text, self.pos)
+        if not m:
+            self.fail("expected a string literal")
+        self.pos = m.end()
+        raw = m.group(1) if m.group(1) is not None else m.group(2)
+        return raw.replace("\\n", "\n").replace("\\t", "\t") \
+                  .replace('\\"', '"').replace("\\'", "'") \
+                  .replace("\\\\", "\\")
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        if self.peek_keyword("for"):
+            return self.parse_flwor()
+        return self.parse_sequence()
+
+    def parse_flwor(self) -> Expr:
+        self.accept_keyword("for")
+        self.expect("$")
+        var = self.name()
+        if not self.accept_keyword("in"):
+            self.fail("expected 'in'")
+        seq = self.parse_sequence_item()
+        lets = []
+        while self.accept_keyword("let"):
+            self.expect("$")
+            let_var = self.name()
+            self.expect(":=")
+            lets.append((let_var, self.parse_sequence_item()))
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_sequence_item()
+        order_key = None
+        descending = False
+        if self.accept_keyword("order"):
+            if not self.accept_keyword("by"):
+                self.fail("expected 'by'")
+            order_key = self.parse_sequence_item()
+            if self.accept_keyword("descending"):
+                descending = True
+            else:
+                self.accept_keyword("ascending")
+        if not self.accept_keyword("return"):
+            self.fail("expected 'return'")
+        ret = self.parse_expr()
+        return FLWOR(var, seq, where, order_key, descending, ret,
+                     lets=lets)
+
+    def parse_sequence(self) -> Expr:
+        items = [self.parse_sequence_item()]
+        while self.accept(","):
+            items.append(self.parse_sequence_item())
+        if len(items) == 1:
+            return items[0]
+        return SequenceExpr(items)
+
+    def parse_sequence_item(self) -> Expr:
+        left = self.parse_boolean_operand()
+        for word in ("and", "or"):
+            if self.peek_keyword(word):
+                items = [left]
+                while self.accept_keyword(word):
+                    items.append(self.parse_boolean_operand())
+                if self.peek_keyword("or" if word == "and" else "and"):
+                    self.fail("mixing 'and' and 'or' requires parentheses")
+                return BoolExpr(word, items)
+        return left
+
+    def parse_boolean_operand(self) -> Expr:
+        left = self.parse_path()
+        self.skip_ws()
+        for op in _CMP_OPS:
+            if self.text.startswith(op, self.pos):
+                # Guard: '<' starting a constructor never reaches here
+                # (constructors are parsed in primary position).
+                self.pos += len(op)
+                literal = self.string_or_number()
+                return Compare(left, op, literal)
+        return left
+
+    def string_or_number(self) -> str:
+        self.skip_ws()
+        m = re.match(r"-?\d+(\.\d+)?", self.text[self.pos:])
+        if m and not _STRING_RE.match(self.text, self.pos):
+            self.pos += m.end()
+            return m.group(0)
+        return self.string_literal()
+
+    def parse_path(self) -> Expr:
+        base = self.parse_primary()
+        while True:
+            self.skip_ws()
+            if self.text.startswith("//", self.pos):
+                self.pos += 2
+                base = Step(base, DESCENDANT, self.node_test())
+            elif self.text.startswith("/..", self.pos):
+                self.pos += 3
+                base = Step(base, PARENT, None)
+            elif self.text.startswith("/ancestor::", self.pos):
+                self.pos += len("/ancestor::")
+                base = Step(base, ANCESTOR, self.node_test())
+            elif self.text.startswith("/text()", self.pos):
+                self.pos += len("/text()")
+                base = Step(base, TEXT, None)
+            elif self.text.startswith("/", self.pos):
+                self.pos += 1
+                base = Step(base, CHILD, self.node_test())
+            elif self.text.startswith("[", self.pos):
+                self.pos += 1
+                cond = self.parse_sequence_item()
+                self.expect("]")
+                base = Filter(base, cond)
+            else:
+                return base
+
+    def node_test(self) -> Optional[str]:
+        self.skip_ws()
+        if self.accept("*"):
+            return None
+        return self.name()
+
+    def parse_primary(self) -> Expr:
+        self.skip_ws()
+        if self.accept("$"):
+            return VarRef(self.name())
+        if self.peek("("):
+            self.expect("(")
+            inner = self.parse_sequence()
+            self.expect(")")
+            return inner
+        if self.peek('"') or self.peek("'"):
+            return StringLit(self.string_literal())
+        if self.peek("<"):
+            return self.parse_constructor()
+        name = self.name()
+        if name in _KEYWORDS:
+            self.fail("unexpected keyword {!r}".format(name))
+        self.skip_ws()
+        if self.text.startswith("(", self.pos):
+            return self.parse_funcall(name)
+        # A bare name is a dataset handle (the paper's X / D).
+        return Source(name)
+
+    def parse_funcall(self, name: str) -> Expr:
+        self.expect("(")
+        if name in ("stream", "doc"):
+            source_name = "stream"
+            if self.peek('"') or self.peek("'"):
+                source_name = self.string_literal()
+            self.expect(")")
+            return Source(source_name)
+        if name == "contains":
+            arg = self.parse_sequence_item()
+            self.expect(",")
+            literal = self.string_literal()
+            self.expect(")")
+            return FunCall("contains", [arg], literal=literal)
+        if name in ("count", "sum", "avg", "min", "max"):
+            arg = self.parse_expr()
+            self.expect(")")
+            return FunCall(name, [arg])
+        self.fail("unknown function {!r}".format(name))
+
+    # -- element constructors -----------------------------------------------------
+
+    def parse_constructor(self) -> Expr:
+        self.expect("<")
+        tag = self.name()
+        self.expect(">")
+        content: List[Expr] = []
+        text_buf: List[str] = []
+
+        def flush_text() -> None:
+            raw = "".join(text_buf)
+            text_buf.clear()
+            if raw.strip():
+                content.append(StringLit(raw))
+
+        close = "</"
+        while True:
+            if self.pos >= len(self.text):
+                self.fail("unterminated constructor <{}>".format(tag))
+            ch = self.text[self.pos]
+            if ch == "{":
+                flush_text()
+                self.pos += 1
+                content.append(self.parse_expr())
+                self.expect("}")
+            elif self.text.startswith(close, self.pos):
+                save = self.pos
+                self.pos += 2
+                end_tag = self.name()
+                self.expect(">")
+                if end_tag != tag:
+                    self.pos = save
+                    self.fail("mismatched </{}> in <{}>".format(end_tag,
+                                                                tag))
+                flush_text()
+                return ElementCtor(tag, content)
+            elif ch == "<":
+                flush_text()
+                content.append(self.parse_constructor())
+            else:
+                text_buf.append(ch)
+                self.pos += 1

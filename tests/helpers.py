@@ -1,0 +1,27 @@
+"""Differential-testing helpers shared across test modules."""
+
+from __future__ import annotations
+
+from repro import XFlux, parse_xml
+from repro.baselines.dom_eval import evaluate_to_xml
+from repro.xquery.parser import parse as parse_query
+
+
+def flux_result(query: str, xml: str, **kwargs) -> str:
+    """Run a query through the streaming engine; return the final text."""
+    return XFlux(query, **kwargs).run_xml(xml).text()
+
+
+def naive_result(query: str, xml: str) -> str:
+    """Run a query through the blocking baseline; return its text."""
+    return evaluate_to_xml(parse_query(query), parse_xml(xml))
+
+
+def assert_query_matches_naive(query: str, xml: str) -> str:
+    """The central oracle: streaming display == naive evaluation."""
+    expected = naive_result(query, xml)
+    actual = flux_result(query, xml)
+    assert actual == expected, (
+        "query {!r}\n  naive: {!r}\n  flux : {!r}".format(query, expected,
+                                                          actual))
+    return actual

@@ -1,0 +1,125 @@
+"""Tests for unblocked aggregation (count/sum/avg)."""
+
+from repro.core import Display, Pipeline
+from repro.events import loads
+from repro.operators import CountItems, NumericAggregate
+from repro.xmlio import tokenize
+
+import pytest
+
+
+def continuous(ctx, stages, events):
+    disp = Display(stages[-1].output_id)
+    pipe = Pipeline(ctx, stages, disp)
+    snaps = []
+    for e in events:
+        pipe.feed(e)
+        if not snaps or snaps[-1] != disp.text():
+            snaps.append(disp.text())
+    pipe.finish()
+    return disp, snaps
+
+
+class TestCount:
+    def test_counts_elements(self, ctx):
+        out = ctx.fresh_id()
+        disp, snaps = continuous(ctx, [CountItems(ctx, 0, out)],
+                                 tokenize("<r/><r/><r/>"[0:0] or None)
+                                 if False else
+                                 loads('sS(0) sE(0,"a") eE(0,"a") '
+                                       'sE(0,"b") cD(0,"t") eE(0,"b") '
+                                       'eS(0)'))
+        assert disp.text() == "2"
+
+    def test_unblocked_display_progression(self, ctx):
+        # The paper's point: the display shows 0, then 1, then 2, ...
+        out = ctx.fresh_id()
+        disp, snaps = continuous(
+            ctx, [CountItems(ctx, 0, out)],
+            loads('sS(0) sE(0,"a") eE(0,"a") sE(0,"a") eE(0,"a") '
+                  'sE(0,"a") eE(0,"a") eS(0)'))
+        assert snaps == ["0", "1", "2", "3"]
+
+    def test_counts_bare_text_items(self, ctx):
+        out = ctx.fresh_id()
+        disp, _ = continuous(ctx, [CountItems(ctx, 0, out)],
+                             loads('sS(0) cD(0,"x") cD(0,"y") eS(0)'))
+        assert disp.text() == "2"
+
+    def test_nested_elements_count_once(self, ctx):
+        out = ctx.fresh_id()
+        disp, _ = continuous(ctx, [CountItems(ctx, 0, out)],
+                             tokenize("<a><b><c/></b></a>"))
+        assert disp.text() == "1"
+
+    def test_empty_stream_displays_zero(self, ctx):
+        out = ctx.fresh_id()
+        disp, _ = continuous(ctx, [CountItems(ctx, 0, out)],
+                             loads("sS(0) eS(0)"))
+        assert disp.text() == "0"
+
+
+class TestSumAvg:
+    def test_sum_of_values(self, ctx):
+        out = ctx.fresh_id()
+        disp, snaps = continuous(
+            ctx, [NumericAggregate(ctx, 0, out, op="sum")],
+            loads('sS(0) sE(0,"p") cD(0,"10") eE(0,"p") '
+                  'sE(0,"p") cD(0,"2.5") eE(0,"p") eS(0)'))
+        assert disp.text() == "12.5"
+        assert snaps[0] == "0"
+
+    def test_avg(self, ctx):
+        out = ctx.fresh_id()
+        disp, _ = continuous(
+            ctx, [NumericAggregate(ctx, 0, out, op="avg")],
+            loads('sS(0) cD(0,"10") cD(0,"20") eS(0)'))
+        assert disp.text() == "15"
+
+    def test_avg_empty_is_empty(self, ctx):
+        out = ctx.fresh_id()
+        disp, _ = continuous(ctx,
+                             [NumericAggregate(ctx, 0, out, op="avg")],
+                             loads("sS(0) eS(0)"))
+        assert disp.text() == ""
+
+    def test_non_numeric_items_contribute_zero(self, ctx):
+        out = ctx.fresh_id()
+        disp, _ = continuous(
+            ctx, [NumericAggregate(ctx, 0, out, op="sum")],
+            loads('sS(0) cD(0,"oops") cD(0,"5") eS(0)'))
+        assert disp.text() == "5"
+
+    def test_rejects_unknown_op(self, ctx):
+        with pytest.raises(ValueError):
+            NumericAggregate(ctx, 0, 1, op="median")
+
+
+class TestAggregatesUnderUpdates:
+    def test_sum_adjusts_on_replacement(self, ctx):
+        out = ctx.fresh_id()
+        disp, _ = continuous(
+            ctx, [NumericAggregate(ctx, 0, out, op="sum")],
+            loads('sS(0) sM(0,1) sE(1,"p") cD(1,"10") eE(1,"p") eM(0,1) '
+                  'sE(0,"p") cD(0,"5") eE(0,"p") '
+                  'sR(1,2) sE(2,"p") cD(2,"100") eE(2,"p") eR(1,2) eS(0)'))
+        assert disp.text() == "105"
+
+    def test_count_adjusts_on_hide_show(self, ctx):
+        out = ctx.fresh_id()
+        disp, snaps = continuous(
+            ctx, [CountItems(ctx, 0, out)],
+            loads('sS(0) sM(0,1) sE(1,"a") eE(1,"a") eM(0,1) '
+                  'sE(0,"b") eE(0,"b") hide(1) show(1) eS(0)'))
+        assert disp.text() == "2"
+        assert "1" in snaps  # the hide was visible in the display
+
+    def test_display_shows_corrected_value_immediately(self, ctx):
+        out = ctx.fresh_id()
+        pipe_events = loads(
+            'sS(0) sM(0,1) sE(1,"a") eE(1,"a") eM(0,1) '
+            'sR(1,2) sE(2,"x") eE(2,"x") sE(2,"y") eE(2,"y") eR(1,2) '
+            'eS(0)')
+        disp, snaps = continuous(ctx, [CountItems(ctx, 0, out)],
+                                 pipe_events)
+        assert snaps[-1] == "2"

@@ -1,0 +1,109 @@
+"""Tests for and/or conditions in predicates and where clauses."""
+
+import pytest
+
+from repro import XFlux
+from repro.baselines.spex import SpexError, run_spex
+from repro.xmlio import tokenize
+from repro.xquery.parser import XQuerySyntaxError, parse
+
+from tests.helpers import assert_query_matches_naive
+
+DOC = """<r>
+<item><a>1</a><b>2</b><name>both</name></item>
+<item><a>1</a><b>9</b><name>a-only</name></item>
+<item><a>9</a><b>2</b><name>b-only</name></item>
+<item><a>9</a><b>9</b><name>neither</name></item>
+</r>"""
+
+
+class TestAnd:
+    def test_predicate_and(self):
+        out = XFlux('X//item[a="1" and b="2"]/name').run_xml(DOC).text()
+        assert out == "<name>both</name>"
+
+    def test_where_and(self):
+        q = ('for $i in X//item where $i/a = "1" and $i/b = "2" '
+             'return $i/name/text()')
+        assert XFlux(q).run_xml(DOC).text() == "both"
+
+    def test_matches_naive(self):
+        assert_query_matches_naive('X//item[a="1" and b="2"]/name', DOC)
+        assert_query_matches_naive(
+            'for $i in X//item where $i/a = "1" and $i/b = "9" '
+            'return $i/name', DOC)
+
+    def test_spex_supports_and(self):
+        q = 'X//item[a="1" and b="2"]/name'
+        spex = run_spex(q, tokenize(DOC)).text()
+        assert spex == XFlux(q).run_xml(DOC).text()
+
+    def test_and_equals_chained_predicates(self):
+        a = XFlux('X//item[a="1" and b="2"]/name').run_xml(DOC).text()
+        b = XFlux('X//item[a="1"][b="2"]/name').run_xml(DOC).text()
+        assert a == b
+
+
+class TestOr:
+    def test_predicate_or(self):
+        out = XFlux('X//item[a="1" or b="2"]/name').run_xml(DOC).text()
+        assert out == ("<name>both</name><name>a-only</name>"
+                       "<name>b-only</name>")
+
+    def test_where_or(self):
+        q = ('for $i in X//item where $i/a = "1" or $i/b = "2" '
+             'return $i/name/text()')
+        assert XFlux(q).run_xml(DOC).text() == "botha-onlyb-only"
+
+    def test_matches_naive(self):
+        assert_query_matches_naive('X//item[a="1" or b="2"]/name', DOC)
+
+    def test_or_with_existence(self):
+        doc = "<r><i><opt/></i><i><k>x</k></i><i/></r>"
+        assert_query_matches_naive('X//i[opt or k]', doc)
+
+    def test_spex_rejects_or(self):
+        with pytest.raises(SpexError):
+            run_spex('X//item[a="1" or b="2"]', tokenize(DOC))
+
+
+class TestSyntax:
+    def test_mixed_and_or_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse('X//item[a="1" and b="2" or c="3"]')
+
+    def test_three_way_and(self):
+        assert_query_matches_naive(
+            'X//item[a="1" and b="2" and name="both"]/name', DOC)
+
+
+class TestUnderUpdates:
+    def test_or_flips_with_updates(self):
+        from repro.events import loads
+        src = ('sS(0) sE(0,"r") '
+               'sE(0,"item") '
+               'sM(0,1) sE(1,"a") cD(1,"9") eE(1,"a") eM(0,1) '
+               'sE(0,"b") cD(0,"9") eE(0,"b") '
+               'sE(0,"name") cD(0,"X") eE(0,"name") eE(0,"item") '
+               'sR(1,2) sE(2,"a") cD(2,"1") eE(2,"a") eR(1,2) '
+               'eE(0,"r") eS(0)')
+        q = 'stream()//item[a="1" or b="2"]/name'
+        run = XFlux(q, mutable_source=True).start()
+        run.feed_all(loads(src))
+        run.finish()
+        assert run.text() == "<name>X</name>"
+
+    def test_and_revoked_by_update(self):
+        from repro.events import loads
+        src = ('sS(0) sE(0,"r") '
+               'sE(0,"item") '
+               'sM(0,1) sE(1,"a") cD(1,"1") eE(1,"a") eM(0,1) '
+               'sE(0,"b") cD(0,"2") eE(0,"b") '
+               'sE(0,"name") cD(0,"X") eE(0,"name") eE(0,"item") '
+               'sR(1,2) sE(2,"a") cD(2,"9") eE(2,"a") eR(1,2) '
+               'eE(0,"r") eS(0)')
+        q = 'stream()//item[a="1" and b="2"]/name'
+        run = XFlux(q, mutable_source=True).start()
+        run.feed_all(loads(src))
+        run.finish()
+        assert run.text() == ""

@@ -1,0 +1,95 @@
+"""Tests for the mini-DOM and the event writer."""
+
+import pytest
+
+from repro.events import loads
+from repro.xmlio import (Element, Text, escape_text, forest_from_events,
+                         forest_to_xml, parse, tokenize, write_events)
+
+
+class TestWriter:
+    def test_escaping(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_write_filters_by_stream(self):
+        evs = loads('sE(0,"a") cD(1,"other") cD(0,"mine") eE(0,"a")')
+        assert write_events(evs, stream_id=0) == "<a>mine</a>"
+
+    def test_write_rejects_updates(self):
+        with pytest.raises(ValueError):
+            write_events(loads('sM(0,1) eM(0,1)'))
+
+    def test_forest_rendering(self):
+        evs = loads('sE(0,"a") eE(0,"a") cD(0,"mid") sE(0,"b") eE(0,"b")')
+        assert write_events(evs) == "<a></a>mid<b></b>"
+
+    def test_structural_markers_invisible(self):
+        evs = loads('sS(0) sT(0) cD(0,"x") eT(0) eS(0)')
+        assert write_events(evs) == "x"
+
+
+class TestDom:
+    def test_parse_and_navigate(self):
+        root = parse("<a><b>x</b><b>y</b><c><b>z</b></c></a>")
+        assert root.tag == "a"
+        assert [b.string_value for b in root.child_elements("b")] == \
+            ["x", "y"]
+        assert len(root.descendants("b")) == 3
+        assert root.string_value == "xyz"
+
+    def test_parent_and_ancestors(self):
+        root = parse("<a><b><c/></b></a>")
+        c = root.descendants("c")[0]
+        assert [a.tag for a in c.ancestors()] == ["b", "a"]
+        assert c.root() is root
+
+    def test_descendants_or_self_document_order(self):
+        root = parse("<a><b><c/></b><d/></a>")
+        assert [e.tag for e in root.descendants_or_self()] == \
+            ["a", "b", "c", "d"]
+
+    def test_to_xml_roundtrip(self):
+        doc = "<a><b>x &amp; y</b><c></c></a>"
+        assert parse(doc).to_xml() == doc
+
+    def test_to_events_matches_tokenizer(self):
+        doc = "<a><b>x</b></a>"
+        assert parse(doc).to_events() == tokenize(doc)[1:-1]
+
+    def test_copy_is_deep(self):
+        root = parse("<a><b>x</b></a>")
+        dup = root.copy()
+        dup.child_elements("b")[0].children[0].text = "changed"
+        assert root.string_value == "x"
+        assert dup.string_value == "changed"
+        assert dup.children[0].parent is dup
+
+    def test_append_strings_become_text(self):
+        el = Element("p", ["hello ", Element("b", ["world"])])
+        assert el.to_xml() == "<p>hello <b>world</b></p>"
+
+    def test_parse_requires_single_root(self):
+        with pytest.raises(Exception):
+            parse("<a/><b/>")
+
+
+class TestForestFromEvents:
+    def test_builds_forest(self):
+        evs = loads('cD(0,"t") sE(0,"a") cD(0,"x") eE(0,"a")')
+        forest = forest_from_events(evs)
+        assert isinstance(forest[0], Text)
+        assert isinstance(forest[1], Element)
+        assert forest_to_xml(forest) == "t<a>x</a>"
+
+    def test_rejects_updates(self):
+        with pytest.raises(ValueError):
+            forest_from_events(loads('sM(0,1) eM(0,1)'))
+
+    def test_rejects_unbalanced(self):
+        with pytest.raises(ValueError):
+            forest_from_events(loads('sE(0,"a")'))
+
+    def test_stream_filter(self):
+        evs = loads('sE(0,"a") eE(0,"a") sE(1,"b") eE(1,"b")')
+        forest = forest_from_events(evs, stream_id=1)
+        assert [n.tag for n in forest] == ["b"]

@@ -1,0 +1,133 @@
+"""Unit tests for the event model (repro.events.model)."""
+
+import pytest
+
+from repro.events import (CD, EE, EM, ES, FREEZE, HIDE, SA, SB, SE, SHOW,
+                          SM, SR, SS, ST, Event, IdGenerator, Kind, cdata,
+                          end_element, end_mutable, end_replace, end_stream,
+                          end_tuple, events_of, freeze, hide, matching_end,
+                          matching_start, show, start_element,
+                          start_insert_after, start_insert_before,
+                          start_mutable, start_replace, start_stream,
+                          start_tuple)
+
+
+class TestConstructors:
+    def test_start_element_carries_tag(self):
+        e = start_element(3, "book")
+        assert e.kind == SE
+        assert e.id == 3
+        assert e.tag == "book"
+        assert e.sub is None
+        assert e.text is None
+
+    def test_cdata_carries_text(self):
+        e = cdata(0, "hello")
+        assert e.kind == CD
+        assert e.text == "hello"
+
+    def test_stream_and_tuple_markers(self):
+        assert start_stream(1).kind == SS
+        assert end_stream(1).kind == ES
+        assert start_tuple(2).kind == ST
+        assert end_tuple(2).kind == Kind.END_TUPLE
+
+    def test_update_brackets_carry_target_and_sub(self):
+        e = start_mutable(0, 5)
+        assert e.kind == SM
+        assert e.id == 0
+        assert e.sub == 5
+        assert start_replace(5, 6).sub == 6
+        assert start_insert_before(5, 7).kind == SB
+        assert start_insert_after(5, 8).kind == SA
+
+    def test_toggles(self):
+        assert freeze(4).kind == FREEZE
+        assert hide(4).kind == HIDE
+        assert show(4).kind == SHOW
+
+
+class TestClassification:
+    def test_data_events_are_not_updates(self):
+        for e in (start_stream(0), start_element(0, "a"), cdata(0, "x"),
+                  end_element(0, "a"), end_stream(0), start_tuple(0)):
+            assert not e.is_update
+
+    def test_update_events_are_updates(self):
+        for e in (start_mutable(0, 1), end_mutable(0, 1),
+                  start_replace(1, 2), end_replace(1, 2), freeze(1),
+                  hide(1), show(1)):
+            assert e.is_update
+
+    def test_update_start_end_flags(self):
+        assert start_mutable(0, 1).is_update_start
+        assert not start_mutable(0, 1).is_update_end
+        assert end_replace(0, 1).is_update_end
+        assert not hide(1).is_update_start
+
+
+class TestMatching:
+    @pytest.mark.parametrize("start,end", [(SM, EM), (SR, Kind.END_REPLACE),
+                                           (SB, Kind.END_INSERT_BEFORE),
+                                           (SA, Kind.END_INSERT_AFTER)])
+    def test_matching_end(self, start, end):
+        assert matching_end(start) == end
+        assert matching_start(end) == start
+
+
+class TestValueSemantics:
+    def test_equality_ignores_oid(self):
+        a = start_element(0, "x", oid=1)
+        b = start_element(0, "x", oid=2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_payload(self):
+        assert cdata(0, "a") != cdata(0, "b")
+        assert cdata(0, "a") != cdata(1, "a")
+        assert start_element(0, "a") != end_element(0, "a")
+
+    def test_same_node_uses_oid(self):
+        a = end_element(0, "x", oid=7)
+        b = end_element(5, "x", oid=7)
+        c = end_element(0, "x", oid=8)
+        assert a.same_node(b)
+        assert not a.same_node(c)
+        assert not Event(SE, 0, tag="x").same_node(b)  # oid None
+
+    def test_relabel_preserves_everything_but_id(self):
+        e = Event(SE, 0, tag="t", oid=9)
+        r = e.relabel(42)
+        assert r.id == 42
+        assert r.tag == "t"
+        assert r.oid == 9
+        assert r.kind == SE
+
+    def test_repr_uses_paper_abbreviations(self):
+        assert repr(start_mutable(0, 1)) == "sM(0,1)"
+        assert repr(cdata(2, "y")) == "cD(2,'y')"
+        assert repr(freeze(3)) == "freeze(3)"
+
+
+class TestIdGenerator:
+    def test_fresh_is_monotone_and_unique(self):
+        gen = IdGenerator(first=10)
+        ids = [gen.fresh() for _ in range(100)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 100
+        assert ids[0] == 10
+
+    def test_reserve_moves_cursor_forward(self):
+        gen = IdGenerator(first=5)
+        gen.reserve(50)
+        assert gen.fresh() == 51
+
+    def test_reserve_below_cursor_is_noop(self):
+        gen = IdGenerator(first=100)
+        gen.reserve(3)
+        assert gen.fresh() == 100
+
+
+def test_events_of_filters_by_stream():
+    evs = [cdata(0, "a"), cdata(1, "b"), cdata(0, "c")]
+    assert [e.text for e in events_of(evs, 0)] == ["a", "c"]

@@ -1,0 +1,195 @@
+"""Tests for the FLWOR tuple normalizer and its downstream composition.
+
+ForTuples re-expresses upstream update structure per tuple: spanning
+predicate regions are dissolved into per-tuple regions slaved to their
+sources, within-item value regions are retargeted and forwarded.  These
+tests pin the behaviours that make where/order/construct/concat compose
+over predicate-filtered sequences and update streams.
+"""
+
+import pytest
+
+from repro import XFlux
+from repro.core import Collector, Context, Pipeline
+from repro.events import UPDATE_STARTS, loads
+from repro.operators import ForTuples
+from repro.xmlio import tokenize
+
+from tests.helpers import assert_query_matches_naive
+
+BIBLIO = """<root>
+  <biblio><publisher>Wiley</publisher><books>
+    <book><author><lastname>Smith</lastname></author>
+          <title>T2</title><price>20</price></book>
+    <book><author><lastname>Jones</lastname></author>
+          <title>T3</title><price>5</price></book>
+    <book><author><lastname>Smith</lastname></author>
+          <title>T1</title><price>10</price></book>
+  </books></biblio>
+  <biblio><publisher>Elsevier</publisher><books>
+    <book><author><lastname>Smith</lastname></author>
+          <title>TX</title><price>1</price></book>
+  </books></biblio>
+</root>"""
+
+INTRO_QUERY = '''<books>{
+  for $b in stream()//biblio[publisher = "Wiley"]/books/book
+  where $b/author/lastname = "Smith"
+  order by $b/price
+  return <book>{ $b/title, $b/price }</book>
+}</books>'''
+
+
+class TestIntroductionQuery:
+    def test_final_answer(self):
+        out = XFlux(INTRO_QUERY).run_xml(BIBLIO).text()
+        assert out == ("<books>"
+                       "<book><title>T1</title><price>10</price></book>"
+                       "<book><title>T2</title><price>20</price></book>"
+                       "</books>")
+
+    def test_elsevier_books_retracted(self):
+        run = XFlux(INTRO_QUERY).start(track_snapshots=True)
+        from repro.xmlio import tokenize as tok
+        run.feed_all(tok(BIBLIO))
+        run.finish()
+        # The Elsevier book appeared optimistically and was erased when
+        # the publisher was known (the paper's introduction scenario).
+        assert any("TX" in snap for snap in run.display.snapshots)
+        assert "TX" not in run.text()
+
+    def test_matches_naive(self):
+        assert_query_matches_naive(INTRO_QUERY, BIBLIO)
+
+    @pytest.mark.parametrize("query", [
+        ('for $b in stream()//biblio[publisher = "Wiley"]/books/book '
+         'return $b/title'),
+        ('for $b in stream()//biblio[publisher = "Wiley"]/books/book '
+         'where $b/author/lastname = "Smith" return $b/title'),
+        ('for $b in stream()//biblio[publisher = "Wiley"]/books/book '
+         'order by $b/price return $b/title'),
+        ('for $b in stream()//biblio[publisher = "Wiley"]/books/book '
+         'return <book>{ $b/title, $b/price }</book>'),
+        ('for $b in stream()//biblio[publisher = "Wiley"]/books/book '
+         'where $b/author/lastname = "Smith" order by $b/price '
+         'descending return ($b/price/text(), " ", $b/title/text())'),
+    ])
+    def test_feature_combinations_match_naive(self, query):
+        assert_query_matches_naive(query, BIBLIO)
+
+
+class TestNormalizerStream:
+    def _run(self, src_events):
+        ctx = Context()
+        ctx.ids.reserve(0)
+        out = ctx.fresh_id()
+        col = Collector()
+        pipe = Pipeline(ctx, [ForTuples(ctx, 0, out)], col)
+        pipe.run(src_events)
+        return col.events, out
+
+    def test_plain_items_get_sealed_tuple_regions(self):
+        events, out = self._run(tokenize("<r><a>1</a><a>2</a></r>")[1:-1]
+                                if False else
+                                loads('sS(0) sE(0,"a") eE(0,"a") '
+                                      'sE(0,"a") eE(0,"a") eS(0)'))
+        tuples = [e for e in events if e.abbrev == "sT"]
+        regions = [e for e in events if e.abbrev == "sM"]
+        freezes = [e for e in events if e.abbrev == "freeze"]
+        assert len(tuples) == len(regions) == 2
+        # Plain items have no revocable source: sealed immediately.
+        assert {e.sub for e in regions} == {e.id for e in freezes}
+
+    def test_spanning_bracket_dissolved(self):
+        src = ('sS(0) sM(0,9) sE(9,"a") eE(9,"a") sE(9,"a") eE(9,"a") '
+               'eM(0,9) eS(0)')
+        events, out = self._run(loads(src))
+        # The spanning region 9 is gone from the output...
+        assert not any(e.sub == 9 or e.id == 9 for e in events
+                       if e.is_update)
+        # ...but each item got its own region, unsealed (9 never froze).
+        regions = [e for e in events if e.abbrev == "sM"]
+        assert len(regions) == 2
+        frozen = {e.id for e in events if e.abbrev == "freeze"}
+        assert not any(r.sub in frozen for r in regions)
+
+    def test_spanning_hide_fans_out(self):
+        src = ('sS(0) sM(0,9) sE(9,"a") eE(9,"a") sE(9,"a") eE(9,"a") '
+               'eM(0,9) hide(9) show(9) freeze(9) eS(0)')
+        events, _ = self._run(loads(src))
+        wids = [e.sub for e in events if e.abbrev == "sM"]
+        hidden = [e.id for e in events if e.abbrev == "hide"]
+        shown = [e.id for e in events if e.abbrev == "show"]
+        frozen = {e.id for e in events if e.abbrev == "freeze"}
+        assert sorted(hidden) == sorted(wids)
+        assert sorted(shown) == sorted(wids)
+        assert set(wids) <= frozen  # released once the source sealed
+
+    def test_items_born_inside_hidden_region_start_hidden(self):
+        src = ('sS(0) sM(0,9) sE(9,"a") eE(9,"a") eM(0,9) hide(9) '
+               'sB(9,10) sE(10,"a") eE(10,"a") eB(9,10) eS(0)')
+        # Region 10 inserts before hidden region 9... items under 9 were
+        # hidden; region 10 is separate (visible).
+        events, _ = self._run(loads(src))
+        wids = [e.sub for e in events if e.abbrev == "sM"]
+        hidden = [e.id for e in events if e.abbrev == "hide"]
+        assert len(wids) == 2
+        assert len(hidden) == 1
+
+    def test_within_item_bracket_retargeted(self):
+        src = ('sS(0) sE(0,"a") sM(0,5) sE(5,"v") cD(5,"x") eE(5,"v") '
+               'eM(0,5) eE(0,"a") eS(0)')
+        events, _ = self._run(loads(src))
+        inner = [e for e in events if e.is_update and e.sub == 5]
+        assert inner  # forwarded
+        wid = next(e.sub for e in events if e.abbrev == "sM"
+                   and e.sub != 5)
+        assert inner[0].id == wid  # retargeted into the item's region
+
+    def test_replacement_content_not_itemized(self):
+        src = ('sS(0) sE(0,"a") sM(0,5) sE(5,"v") cD(5,"x") eE(5,"v") '
+               'eM(0,5) eE(0,"a") '
+               'sR(5,6) sE(6,"v") cD(6,"y") eE(6,"v") eR(5,6) eS(0)')
+        events, _ = self._run(loads(src))
+        tuples = [e for e in events if e.abbrev == "sT"]
+        assert len(tuples) == 1  # the replacement is not a new tuple
+        # Replacement content keeps its region number.
+        assert any(e.id == 6 and e.text == "y" for e in events)
+
+    def test_replacing_spanning_region_erases_old_items(self):
+        src = ('sS(0) sM(0,9) sE(9,"a") cD(9,"old") eE(9,"a") eM(0,9) '
+               'sR(9,10) sE(10,"a") cD(10,"new") eE(10,"a") eR(9,10) '
+               'eS(0)')
+        events, _ = self._run(loads(src))
+        tuples = [e for e in events if e.abbrev == "sT"]
+        assert len(tuples) == 2  # old item + its replacement item
+        hides = [e for e in events if e.abbrev == "hide"]
+        assert len(hides) == 1  # the old item was erased
+
+
+class TestFLWOROverUpdateStreams:
+    def test_where_with_construct_under_updates(self):
+        src = ('sS(0) sE(0,"recs") '
+               'sE(0,"rec") sM(0,1) sE(1,"k") cD(1,"no") eE(1,"k") '
+               'eM(0,1) sE(0,"v") cD(0,"A") eE(0,"v") eE(0,"rec") '
+               'sR(1,2) sE(2,"k") cD(2,"yes") eE(2,"k") eR(1,2) '
+               'eE(0,"recs") eS(0)')
+        q = ('for $r in stream()//rec where $r/k = "yes" '
+             'return <hit>{ $r/v }</hit>')
+        run = XFlux(q, mutable_source=True).start()
+        run.feed_all(loads(src))
+        run.finish()
+        assert run.text() == "<hit><v>A</v></hit>"
+
+    def test_where_construct_revoked_under_updates(self):
+        src = ('sS(0) sE(0,"recs") '
+               'sE(0,"rec") sM(0,1) sE(1,"k") cD(1,"yes") eE(1,"k") '
+               'eM(0,1) sE(0,"v") cD(0,"A") eE(0,"v") eE(0,"rec") '
+               'sR(1,2) sE(2,"k") cD(2,"no") eE(2,"k") eR(1,2) '
+               'eE(0,"recs") eS(0)')
+        q = ('for $r in stream()//rec where $r/k = "yes" '
+             'return <hit>{ $r/v }</hit>')
+        run = XFlux(q, mutable_source=True).start()
+        run.feed_all(loads(src))
+        run.finish()
+        assert run.text() == ""

@@ -1,0 +1,188 @@
+"""Tests for the XQuery parser."""
+
+import pytest
+
+from repro.xquery import ast
+from repro.xquery.parser import XQuerySyntaxError, parse
+
+
+class TestPaths:
+    def test_descendant_chain(self):
+        q = parse("X//europe//item")
+        assert isinstance(q, ast.Step)
+        assert q.axis == ast.DESCENDANT and q.tag == "item"
+        assert q.base.axis == ast.DESCENDANT and q.base.tag == "europe"
+        assert isinstance(q.base.base, ast.Source)
+        assert q.base.base.name == "X"
+
+    def test_child_and_wildcard(self):
+        q = parse("X/a/*")
+        assert q.axis == ast.CHILD and q.tag is None
+        assert q.base.tag == "a"
+
+    def test_text_step(self):
+        q = parse("$d/year/text()")
+        assert q.axis == ast.TEXT
+        assert q.base.tag == "year"
+        assert isinstance(q.base.base, ast.VarRef)
+
+    def test_parent_step(self):
+        q = parse("X//item/..")
+        assert q.axis == ast.PARENT
+
+    def test_ancestor_steps(self):
+        q = parse("X//item/ancestor::europe")
+        assert q.axis == ast.ANCESTOR and q.tag == "europe"
+        q = parse("X//item/ancestor::*")
+        assert q.tag is None
+
+    def test_stream_function_source(self):
+        q = parse("stream()//biblio")
+        assert isinstance(q.base, ast.Source)
+
+
+class TestPredicates:
+    def test_comparison_predicate(self):
+        q = parse('X//item[location="Albania"]')
+        assert isinstance(q, ast.Filter)
+        cond = q.cond
+        assert isinstance(cond, ast.Compare)
+        assert cond.op == "=" and cond.literal == "Albania"
+
+    def test_chained_predicates(self):
+        q = parse('X//item[a="1"][b="2"]')
+        assert isinstance(q, ast.Filter)
+        assert isinstance(q.base, ast.Filter)
+
+    def test_existence_predicate(self):
+        q = parse("X//item[payment]")
+        assert isinstance(q.cond, ast.Source)
+
+    def test_numeric_literal_comparison(self):
+        q = parse("X//item[price < 10]")
+        assert q.cond.op == "<"
+        assert q.cond.literal == "10"
+
+    def test_relative_path_condition(self):
+        q = parse('X//item[a/b="x"]')
+        assert isinstance(q.cond.left, ast.Step)
+
+    def test_contains_in_predicate(self):
+        q = parse('X//r[contains(author,"Smith")]')
+        assert isinstance(q.cond, ast.FunCall)
+        assert q.cond.literal == "Smith"
+
+
+class TestFLWOR:
+    def test_full_flwor(self):
+        q = parse('for $d in D//x where $d/a = "1" order by $d/k '
+                  'descending return $d/v')
+        assert isinstance(q, ast.FLWOR)
+        assert q.var == "d"
+        assert q.where is not None
+        assert q.descending
+        assert isinstance(q.ret, ast.Step)
+
+    def test_ascending_keyword(self):
+        q = parse("for $d in D//x order by $d/k ascending return $d")
+        assert not q.descending
+
+    def test_minimal_flwor(self):
+        q = parse("for $d in D//x return $d")
+        assert q.where is None and q.order_key is None
+
+    def test_return_sequence(self):
+        q = parse('for $d in D//x return ($d/a, ": ", $d/b, "\\n")')
+        assert isinstance(q.ret, ast.SequenceExpr)
+        assert len(q.ret.items) == 4
+        assert q.ret.items[1].value == ": "
+        assert q.ret.items[3].value == "\n"
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse("for $d in D//x")
+
+
+class TestConstructors:
+    def test_simple_constructor(self):
+        q = parse("<result>{ X//a }</result>")
+        assert isinstance(q, ast.ElementCtor)
+        assert q.tag == "result"
+        assert isinstance(q.content[0], ast.Step)
+
+    def test_constructor_with_flwor(self):
+        q = parse("<r>{ for $x in X//a return $x }</r>")
+        assert isinstance(q.content[0], ast.FLWOR)
+
+    def test_nested_constructors(self):
+        q = parse("<a><b>{ X//c }</b></a>")
+        assert isinstance(q.content[0], ast.ElementCtor)
+        assert q.content[0].tag == "b"
+
+    def test_literal_text_content(self):
+        q = parse("<a>hello</a>")
+        assert isinstance(q.content[0], ast.StringLit)
+        assert q.content[0].value == "hello"
+
+    def test_mismatched_close_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse("<a>{ X//b }</c>")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse("<a>{ X//b }")
+
+
+class TestFunctions:
+    def test_count(self):
+        q = parse("count(X//item)")
+        assert isinstance(q, ast.FunCall) and q.name == "count"
+
+    def test_sum_avg(self):
+        assert parse("sum(X//p)").name == "sum"
+        assert parse("avg(X//p)").name == "avg"
+
+    def test_contains_where(self):
+        q = parse('for $d in D//x where contains($d/a,"S") return $d')
+        assert q.where.name == "contains"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse("frobnicate(X//a)")
+
+
+class TestLexicalDetails:
+    def test_comments_skipped(self):
+        q = parse("(: a comment :) X//a (: another :)")
+        assert isinstance(q, ast.Step)
+
+    def test_curly_quotes_from_pdf(self):
+        q = parse('X//biblio[publisher = “Wiley”]')
+        assert q.cond.literal == "Wiley"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse("X//a extra")
+
+    def test_error_reports_position(self):
+        with pytest.raises(XQuerySyntaxError) as err:
+            parse("for $x\nin")
+        assert "line" in str(err.value)
+
+    def test_paper_query_1_through_9_parse(self):
+        from repro.bench.harness import PAPER_QUERIES
+        for text in PAPER_QUERIES.values():
+            parse(text)
+
+    def test_paper_intro_query_parses(self):
+        parse('''<books>{
+            for $b in stream()//biblio[publisher = "Wiley"]/books
+            where $b/author/lastname = "Smith"
+            order by $b/price
+            return <book>{ $b/title, $b/price }</book>
+            }</books>''')
+
+    def test_uses_backward_axes_helper(self):
+        from repro.xquery.ast import uses_backward_axes
+        assert uses_backward_axes(parse("count(X//a/..)"))
+        assert not uses_backward_axes(parse("count(X//a)"))

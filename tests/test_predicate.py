@@ -1,0 +1,201 @@
+"""Tests for general predicates and where-clauses (paper Section VI-B)."""
+
+import pytest
+
+from repro.core import Collector, Context, Display, Pipeline
+from repro.events import loads
+from repro.operators import (ChildStep, CompareLiteral, ContainsLiteral,
+                             ExistsFlag, ForTuples, InlinePipeline,
+                             Predicate, SCOPE_TUPLE, StringValue)
+from repro.xmlio import tokenize
+
+
+def eq_condition(ctx, tag, literal, op="="):
+    c_in, c1, c2, c_out = (ctx.fresh_id() for _ in range(4))
+    return InlinePipeline([
+        ChildStep(ctx, c_in, c1, tag),
+        StringValue(ctx, c1, c2),
+        CompareLiteral(ctx, c2, c_out, op, literal),
+    ], c_in, c_out)
+
+
+def run_pred(ctx, src_events, condition, assume_fixed=True, **kwargs):
+    out = ctx.fresh_id()
+    disp = Display(out)
+    pipe = Pipeline(ctx, [Predicate(ctx, 0, out, condition,
+                                    assume_fixed=assume_fixed, **kwargs)],
+                    disp)
+    pipe.run(src_events)
+    return disp, pipe
+
+
+class TestFixedDecisions:
+    def test_keeps_matching_items(self, ctx):
+        disp, _ = run_pred(
+            ctx, loads('sS(0) sE(0,"q") sE(0,"name") cD(0,"A") '
+                       'eE(0,"name") eE(0,"q") eS(0)'),
+            eq_condition(ctx, "name", "A"))
+        assert disp.text() == "<q><name>A</name></q>"
+
+    def test_drops_non_matching_items(self, ctx):
+        disp, _ = run_pred(
+            ctx, loads('sS(0) sE(0,"q") sE(0,"name") cD(0,"B") '
+                       'eE(0,"name") eE(0,"q") eS(0)'),
+            eq_condition(ctx, "name", "A"))
+        assert disp.text() == ""
+
+    def test_emits_optimistically_then_retracts(self, ctx):
+        out = ctx.fresh_id()
+        disp = Display(out)
+        pipe = Pipeline(ctx, [Predicate(ctx, 0, out,
+                                        eq_condition(ctx, "name", "A"),
+                                        assume_fixed=True)], disp)
+        snapshots = []
+        for e in loads('sS(0) sE(0,"q") sE(0,"name") cD(0,"B") '
+                       'eE(0,"name") eE(0,"q") eS(0)'):
+            pipe.feed(e)
+            snapshots.append(disp.text())
+        pipe.finish()
+        # The item was displayed while open (optimism) and erased at the
+        # decision point.
+        assert any("<q>" in s for s in snapshots)
+        assert disp.text() == ""
+
+    def test_fixed_decisions_freeze(self, ctx):
+        col = Collector()
+        out = ctx.fresh_id()
+        pipe = Pipeline(ctx, [Predicate(ctx, 0, out,
+                                        eq_condition(ctx, "name", "A"),
+                                        assume_fixed=True)], col)
+        pipe.run(loads('sS(0) sE(0,"q") sE(0,"name") cD(0,"A") '
+                       'eE(0,"name") eE(0,"q") eS(0)'))
+        assert any(e.abbrev == "freeze" for e in col.events)
+        assert pipe.wrappers[0].live_regions() == 0
+
+    def test_multiple_condition_hits_still_one_item(self, ctx):
+        disp, _ = run_pred(
+            ctx, loads('sS(0) sE(0,"q") sE(0,"name") cD(0,"A") '
+                       'eE(0,"name") sE(0,"name") cD(0,"A") eE(0,"name") '
+                       'eE(0,"q") eS(0)'),
+            eq_condition(ctx, "name", "A"))
+        assert disp.text().count("<q>") == 1
+
+
+class TestConditionForms:
+    def test_exists(self, ctx):
+        c_in, c1, c_out = (ctx.fresh_id() for _ in range(3))
+        cond = InlinePipeline([ChildStep(ctx, c_in, c1, "opt"),
+                               ExistsFlag(ctx, c1, c_out)], c_in, c_out)
+        disp, _ = run_pred(
+            ctx, loads('sS(0) sE(0,"a") sE(0,"opt") eE(0,"opt") eE(0,"a") '
+                       'sE(0,"b") eE(0,"b") eS(0)'), cond)
+        assert disp.text() == "<a><opt></opt></a>"
+
+    def test_contains(self, ctx):
+        c_in, c1, c2, c_out = (ctx.fresh_id() for _ in range(4))
+        cond = InlinePipeline([ChildStep(ctx, c_in, c1, "t"),
+                               StringValue(ctx, c1, c2),
+                               ContainsLiteral(ctx, c2, c_out, "mit")],
+                              c_in, c_out)
+        disp, _ = run_pred(
+            ctx, loads('sS(0) sE(0,"a") sE(0,"t") cD(0,"Smith") eE(0,"t") '
+                       'eE(0,"a") sE(0,"b") sE(0,"t") cD(0,"Doe") '
+                       'eE(0,"t") eE(0,"b") eS(0)'), cond)
+        assert disp.text() == '<a><t>Smith</t></a>'
+
+    def test_numeric_comparison(self, ctx):
+        cond = eq_condition(ctx, "n", "10", op="<")
+        disp, _ = run_pred(
+            ctx, loads('sS(0) sE(0,"a") sE(0,"n") cD(0,"9") eE(0,"n") '
+                       'eE(0,"a") sE(0,"b") sE(0,"n") cD(0,"11") '
+                       'eE(0,"n") eE(0,"b") eS(0)'), cond)
+        assert disp.text() == '<a><n>9</n></a>'
+
+    def test_inline_pipeline_rejects_non_inert(self, ctx):
+        from repro.operators import CountItems
+        with pytest.raises(ValueError):
+            InlinePipeline([CountItems(ctx, 1, 2)], 1, 2)
+
+
+class TestRevocableDecisions:
+    STOCK = ('sS(0) '
+             'sE(0,"q") sM(0,10) sE(10,"name") cD(10,"IBM") eE(10,"name") '
+             'eM(0,10) eE(0,"q") '
+             'sE(0,"q") sM(0,20) sE(20,"name") cD(20,"MSFT") '
+             'eE(20,"name") eM(0,20) eE(0,"q") '
+             '{updates} eS(0)')
+
+    def test_update_flips_predicate_on(self, ctx):
+        updates = 'sR(20,31) sE(31,"name") cD(31,"IBM") eE(31,"name") eR(20,31)'
+        disp, _ = run_pred(ctx,
+                           loads(self.STOCK.format(updates=updates)),
+                           eq_condition(ctx, "name", "IBM"),
+                           assume_fixed=False)
+        assert disp.text().count("<q>") == 2
+
+    def test_update_flips_predicate_off(self, ctx):
+        updates = ('sR(10,31) sE(31,"name") cD(31,"AAPL") eE(31,"name") '
+                   'eR(10,31)')
+        disp, _ = run_pred(ctx,
+                           loads(self.STOCK.format(updates=updates)),
+                           eq_condition(ctx, "name", "IBM"),
+                           assume_fixed=False)
+        assert disp.text().count("<q>") == 0
+
+    def test_flip_on_then_off(self, ctx):
+        updates = (
+            'sR(20,31) sE(31,"name") cD(31,"IBM") eE(31,"name") eR(20,31) '
+            'sR(31,32) sE(32,"name") cD(32,"AAPL") eE(32,"name") eR(31,32)')
+        disp, _ = run_pred(ctx,
+                           loads(self.STOCK.format(updates=updates)),
+                           eq_condition(ctx, "name", "IBM"),
+                           assume_fixed=False)
+        assert disp.text().count("<q>") == 1
+
+    def test_revocable_decisions_do_not_freeze(self, ctx):
+        col = Collector()
+        out = ctx.fresh_id()
+        pipe = Pipeline(ctx, [Predicate(ctx, 0, out,
+                                        eq_condition(ctx, "name", "IBM"),
+                                        assume_fixed=False)], col)
+        pipe.run(loads(self.STOCK.format(updates="")))
+        # Mutable-name quotes stay revocable: no freeze of item regions.
+        hidden = [e for e in col.events if e.abbrev == "hide"]
+        assert hidden  # MSFT hidden
+        frozen = {e.id for e in col.events if e.abbrev == "freeze"}
+        assert not any(h.id in frozen for h in hidden)
+
+
+class TestTupleScope:
+    def test_where_clause_filters_tuples(self, ctx):
+        out = ctx.fresh_id()
+        t = ctx.fresh_id()
+        disp = Display(out)
+        Pipeline(ctx, [
+            ChildStep(ctx, 0, 5, "item"),
+            ForTuples(ctx, 5, t),
+            Predicate(ctx, t, out, eq_condition(ctx, "k", "yes"),
+                      scope=SCOPE_TUPLE, assume_fixed=True),
+        ], disp).run(tokenize(
+            "<r><item><k>yes</k><v>1</v></item>"
+            "<item><k>no</k><v>2</v></item>"
+            "<item><k>yes</k><v>3</v></item></r>"))
+        assert disp.text() == ("<item><k>yes</k><v>1</v></item>"
+                               "<item><k>yes</k><v>3</v></item>")
+
+    def test_tuple_markers_survive_on_output(self, ctx):
+        col = Collector()
+        out, t = ctx.fresh_id(), ctx.fresh_id()
+        Pipeline(ctx, [
+            ChildStep(ctx, 0, 5, "item"),
+            ForTuples(ctx, 5, t),
+            Predicate(ctx, t, out, eq_condition(ctx, "k", "yes"),
+                      scope=SCOPE_TUPLE, assume_fixed=True),
+        ], col).run(tokenize("<r><item><k>yes</k></item></r>"))
+        assert sum(1 for e in col.events
+                   if e.abbrev == "sT" and e.id == out) == 1
+
+    def test_bad_scope_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            Predicate(ctx, 0, 1, eq_condition(ctx, "x", "y"),
+                      scope="bogus")

@@ -1,0 +1,70 @@
+"""Tests for the textual event-stream format (repro.events.serialize)."""
+
+import pytest
+
+from repro.events import (Event, EventSyntaxError, cdata, dumps,
+                          event_to_text, freeze, hide, loads, show,
+                          start_element, start_mutable, start_replace,
+                          start_stream)
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        evs = [start_stream(0), start_element(0, "name"),
+               cdata(0, "Smith"), Event.__new__(Event)]  # placeholder
+        evs = evs[:3]
+        assert loads(dumps(evs)) == evs
+
+    def test_update_roundtrip(self):
+        evs = loads('sM(0,1) cD(1,"x") eM(0,1) sR(1,2) cD(2,"y") eR(1,2) '
+                    'freeze(2) hide(1) show(1)')
+        assert loads(dumps(evs)) == evs
+
+    def test_escapes_roundtrip(self):
+        evs = [cdata(0, 'quote " backslash \\ newline \n end')]
+        assert loads(dumps(evs)) == evs
+
+    def test_multiline_dumps(self):
+        evs = [cdata(0, str(i)) for i in range(20)]
+        text = dumps(evs, per_line=5)
+        assert len(text.splitlines()) == 4
+        assert loads(text) == evs
+
+
+class TestParsing:
+    def test_paper_section3_example_parses(self):
+        text = ('sM(0,1) cD(1,"x") eM(0,1) sR(1,2) cD(2,"y") eR(1,2) '
+                'sA(2,3) cD(3,"z") eA(2,3) sB(1,3) cD(3,"w") eB(1,3)')
+        evs = loads(text)
+        assert len(evs) == 12
+        assert evs[0] == start_mutable(0, 1)
+        assert evs[3] == start_replace(1, 2)
+
+    def test_commas_and_brackets_tolerated(self):
+        evs = loads('[ sS(0), cD(0,"a"), eS(0) ]')
+        assert len(evs) == 3
+
+    def test_numeric_cdata_becomes_text(self):
+        (e,) = loads("cD(1,0)")
+        assert e.text == "0"
+
+    def test_unknown_event_name(self):
+        with pytest.raises(EventSyntaxError):
+            loads("zZ(0)")
+
+    def test_wrong_arity(self):
+        with pytest.raises(EventSyntaxError):
+            loads("sM(0)")
+        with pytest.raises(EventSyntaxError):
+            loads("freeze(0,1)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EventSyntaxError):
+            loads("not an event")
+
+    def test_event_to_text_forms(self):
+        assert event_to_text(start_element(0, "a")) == 'sE(0,"a")'
+        assert event_to_text(freeze(7)) == "freeze(7)"
+        assert event_to_text(start_mutable(1, 2)) == "sM(1,2)"
+        assert event_to_text(hide(1)) == "hide(1)"
+        assert event_to_text(show(1)) == "show(1)"

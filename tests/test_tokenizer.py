@@ -1,0 +1,162 @@
+"""Tests for the from-scratch streaming XML tokenizer."""
+
+import pytest
+
+from repro.events import CD, EE, ES, SE, SS
+from repro.xmlio import XMLSyntaxError, XMLTokenizer, iter_tokenize, \
+    tokenize, write_events
+
+
+def kinds(events):
+    return [e.kind for e in events]
+
+
+class TestBasics:
+    def test_single_element(self):
+        evs = tokenize("<a>hi</a>")
+        assert kinds(evs) == [SS, SE, CD, EE, ES]
+        assert evs[1].tag == "a"
+        assert evs[2].text == "hi"
+
+    def test_nested_elements(self):
+        evs = tokenize("<a><b>x</b><c/></a>")
+        tags = [(e.abbrev, e.tag) for e in evs if e.tag]
+        assert tags == [("sE", "a"), ("sE", "b"), ("eE", "b"),
+                        ("sE", "c"), ("eE", "c"), ("eE", "a")]
+
+    def test_self_closing_element(self):
+        evs = tokenize("<a/>")
+        assert kinds(evs) == [SS, SE, EE, ES]
+
+    def test_stream_id_stamped(self):
+        evs = tokenize("<a/>", stream_id=9)
+        assert all(e.id == 9 for e in evs)
+
+    def test_whitespace_between_elements_dropped(self):
+        evs = tokenize("<a>\n  <b>x</b>\n</a>")
+        assert kinds(evs) == [SS, SE, SE, CD, EE, EE, ES]
+
+    def test_whitespace_kept_on_request(self):
+        evs = tokenize("<a> <b/> </a>", keep_whitespace=True)
+        texts = [e.text for e in evs if e.kind == CD]
+        assert texts == [" ", " "]
+
+    def test_mixed_content(self):
+        evs = tokenize("<p>pre<b>mid</b>post</p>")
+        texts = [e.text for e in evs if e.kind == CD]
+        assert texts == ["pre", "mid", "post"]
+
+
+class TestMarkupForms:
+    def test_comments_skipped(self):
+        evs = tokenize("<a><!-- note --><b/></a>")
+        assert all(e.tag != "!--" for e in evs)
+        assert sum(1 for e in evs if e.kind == SE) == 2
+
+    def test_processing_instruction_skipped(self):
+        evs = tokenize('<?xml version="1.0"?><a/>')
+        assert kinds(evs) == [SS, SE, EE, ES]
+
+    def test_doctype_skipped(self):
+        evs = tokenize("<!DOCTYPE site><a/>")
+        assert kinds(evs) == [SS, SE, EE, ES]
+
+    def test_cdata_section(self):
+        evs = tokenize("<a><![CDATA[<not> & markup]]></a>")
+        assert evs[2].text == "<not> & markup"
+
+    def test_attributes_reported_via_handler(self):
+        seen = []
+        tok = XMLTokenizer(attribute_handler=lambda t, n, v:
+                           seen.append((t, n, v)))
+        list(tok.tokenize('<a x="1" y = "two &amp; three"><b z="3"/></a>'))
+        assert seen == [("a", "x", "1"), ("a", "y", "two & three"),
+                        ("b", "z", "3")]
+
+    def test_attributes_ignored_by_default(self):
+        evs = tokenize('<a href="http://x">t</a>')
+        assert kinds(evs) == [SS, SE, CD, EE, ES]
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        evs = tokenize("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+        assert evs[2].text == "<>&\"'"
+
+    def test_numeric_references(self):
+        evs = tokenize("<a>&#65;&#x42;</a>")
+        assert evs[2].text == "AB"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            tokenize("<a>&nope;</a>")
+
+
+class TestErrors:
+    def test_mismatched_close(self):
+        with pytest.raises(XMLSyntaxError):
+            tokenize("<a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLSyntaxError):
+            tokenize("<a><b></b>")
+
+    def test_stray_close(self):
+        with pytest.raises(XMLSyntaxError):
+            tokenize("</a>")
+
+    def test_text_outside_root(self):
+        with pytest.raises(XMLSyntaxError):
+            tokenize("oops<a/>")
+
+    def test_unterminated_input(self):
+        with pytest.raises(XMLSyntaxError):
+            tokenize("<a>text")
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XMLSyntaxError):
+            tokenize("<a x=1/>")
+
+    def test_feed_after_close(self):
+        tok = XMLTokenizer()
+        list(tok.tokenize("<a/>"))
+        with pytest.raises(XMLSyntaxError):
+            tok.feed("<b/>")
+
+
+class TestIncremental:
+    def test_byte_at_a_time_equals_oneshot(self):
+        doc = '<a m="1"><b>x &amp; y</b><!--c--><c/>tail</a>'
+        whole = tokenize(doc)
+        chunked = list(iter_tokenize(list(doc)))
+        assert chunked == whole
+
+    def test_chunk_split_inside_tag(self):
+        parts = ["<roo", "t><chi", "ld>te", "xt</child></ro", "ot>"]
+        evs = list(iter_tokenize(parts))
+        assert [e.tag for e in evs if e.kind == SE] == ["root", "child"]
+
+    def test_events_emitted_before_document_ends(self):
+        tok = XMLTokenizer()
+        early = tok.feed("<a><b>x</b>")
+        assert sum(1 for e in early if e.kind == EE) == 1
+
+
+class TestOids:
+    def test_oids_shared_between_start_and_end(self):
+        evs = tokenize("<a><b/><b/></a>", emit_oids=True)
+        elems = [e for e in evs if e.kind in (SE, EE)]
+        by_oid = {}
+        for e in elems:
+            by_oid.setdefault(e.oid, []).append(e.abbrev)
+        assert all(v == ["sE", "eE"] for v in by_oid.values())
+        assert len(by_oid) == 3
+
+    def test_oids_off_by_default(self):
+        evs = tokenize("<a/>")
+        assert all(e.oid is None for e in evs)
+
+
+def test_roundtrip_through_writer():
+    doc = "<a><b>x</b><c>1 &amp; 2</c><d><e>deep</e></d></a>"
+    assert write_events(tokenize(doc)) == doc

@@ -1,0 +1,208 @@
+"""End-to-end tests of continuous queries over update streams.
+
+The central theorem these tests exercise: for an update stream U and a
+query Q, the streaming engine's *final* display equals the naive
+evaluation of Q over the *eagerly updated* document, i.e.
+
+    display(XFlux(Q) over U)  ==  naive(Q, dom(apply_updates(U)))
+
+and intermediate displays always correspond to prefixes of the updates.
+"""
+
+import pytest
+
+from repro import XFlux, apply_updates
+from repro.baselines.dom_eval import evaluate_to_xml
+from repro.data.stock import StockTicker
+from repro.events import loads
+from repro.xmlio import forest_from_events, parse, write_events
+from repro.xquery.parser import parse as parse_query
+
+
+def eager_oracle(query, events):
+    """Naive evaluation over the eagerly-updated document."""
+    plain = apply_updates(events)
+    root = parse("<stream>{}</stream>".format(write_events(plain)))
+    # Re-root: queries address the quotes directly via //.
+    return evaluate_to_xml(parse_query(query), root)
+
+
+def run_flux(query, events):
+    engine = XFlux(query, mutable_source=True)
+    run = engine.start()
+    run.feed_all(events)
+    run.finish()
+    return run
+
+
+class TestStockTicker:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 11])
+    def test_price_query_tracks_updates(self, seed):
+        events = StockTicker(n_updates=40, mutable_names=False,
+                             seed=seed).events()
+        query = 'stream()//quote[name="IBM"]/price'
+        run = run_flux(query, events)
+        assert run.text() == eager_oracle(query, events)
+
+    @pytest.mark.parametrize("seed", [1, 5, 7])
+    def test_name_flips_track_updates(self, seed):
+        events = StockTicker(n_updates=30, mutable_names=True,
+                             name_update_fraction=0.4,
+                             seed=seed).events()
+        query = 'stream()//quote[name="IBM"]/price'
+        run = run_flux(query, events)
+        assert run.text() == eager_oracle(query, events)
+
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_count_under_updates(self, seed):
+        events = StockTicker(n_updates=30, mutable_names=True,
+                             name_update_fraction=0.5,
+                             seed=seed).events()
+        query = 'count(stream()//quote[name="IBM"])'
+        run = run_flux(query, events)
+        assert run.text() == eager_oracle(query, events)
+
+    def test_display_changes_on_price_update(self):
+        events = StockTicker(symbols=("IBM",), n_updates=5,
+                             mutable_names=False, seed=3).events()
+        engine = XFlux('stream()//quote/price', mutable_source=True)
+        run = engine.start()
+        displays = []
+        for e in events:
+            run.feed(e)
+            if not displays or displays[-1] != run.text():
+                displays.append(run.text())
+        run.finish()
+        # initial price + 5 updates, all rendered over time
+        assert len([d for d in displays if "<price>" in d]) >= 3
+
+    def test_memory_stays_bounded_with_freezes(self):
+        # Prices mutable, names fixed: the engine keeps state only for
+        # the mutable regions (Section V).
+        few = StockTicker(n_updates=10, mutable_names=False).events()
+        many = StockTicker(n_updates=500, mutable_names=False).events()
+        q = 'stream()//quote[name="IBM"]/price'
+        r_few = run_flux(q, few)
+        r_many = run_flux(q, many)
+        cells_few = r_few.stats()["state_cells"]
+        cells_many = r_many.stats()["state_cells"]
+        # State does not grow with the number of updates (same quotes).
+        assert cells_many <= cells_few * 2
+
+
+class TestHandWrittenStreams:
+    def test_intro_scenario_erase_and_reappear(self):
+        # The introduction's story: an author update erases the book from
+        # the display; a later update brings it back.
+        src = ('sS(0) sE(0,"bib") '
+               'sE(0,"book") sM(0,1) sE(1,"author") cD(1,"Smith") '
+               'eE(1,"author") eM(0,1) sE(0,"title") cD(0,"T1") '
+               'eE(0,"title") eE(0,"book") '
+               'sR(1,2) sE(2,"author") cD(2,"Jones") eE(2,"author") '
+               'eR(1,2) '
+               'sR(2,3) sE(3,"author") cD(3,"Smith") eE(3,"author") '
+               'eR(2,3) eE(0,"bib") eS(0)')
+        events = loads(src)
+        engine = XFlux('stream()//book[author="Smith"]/title',
+                       mutable_source=True)
+        run = engine.start()
+        displays = []
+        for e in events:
+            run.feed(e)
+            displays.append(run.text())
+        run.finish()
+        assert "<title>T1</title>" in displays  # shown initially
+        assert "" in displays[displays.index("<title>T1</title>"):]
+        assert run.text() == "<title>T1</title>"  # back at the end
+
+    def test_replacement_inside_selected_subtree_updates_display(self):
+        src = ('sS(0) sE(0,"r") sE(0,"item") sM(0,1) sE(1,"v") '
+               'cD(1,"old") eE(1,"v") eM(0,1) eE(0,"item") '
+               'sR(1,2) sE(2,"v") cD(2,"new") eE(2,"v") eR(1,2) '
+               'eE(0,"r") eS(0)')
+        run = run_flux("stream()//item", loads(src))
+        assert run.text() == "<item><v>new</v></item>"
+
+    def test_where_clause_revoked_by_update(self):
+        src = ('sS(0) sE(0,"recs") '
+               'sE(0,"rec") sM(0,1) sE(1,"k") cD(1,"yes") eE(1,"k") '
+               'eM(0,1) sE(0,"v") cD(0,"payload") eE(0,"v") eE(0,"rec") '
+               'sR(1,2) sE(2,"k") cD(2,"no") eE(2,"k") eR(1,2) '
+               'eE(0,"recs") eS(0)')
+        q = 'for $r in stream()//rec where $r/k = "yes" return $r/v'
+        run = run_flux(q, loads(src))
+        assert run.text() == ""
+
+    def test_eager_oracle_agrees_for_where(self):
+        src = ('sS(0) sE(0,"recs") '
+               'sE(0,"rec") sM(0,1) sE(1,"k") cD(1,"no") eE(1,"k") '
+               'eM(0,1) sE(0,"v") cD(0,"A") eE(0,"v") eE(0,"rec") '
+               'sE(0,"rec") sM(0,3) sE(3,"k") cD(3,"yes") eE(3,"k") '
+               'eM(0,3) sE(0,"v") cD(0,"B") eE(0,"v") eE(0,"rec") '
+               'sR(1,2) sE(2,"k") cD(2,"yes") eE(2,"k") eR(1,2) '
+               'eE(0,"recs") eS(0)')
+        q = 'for $r in stream()//rec where $r/k = "yes" return $r/v'
+        run = run_flux(q, loads(src))
+        assert run.text() == eager_oracle(q, loads(src))
+
+    def test_incoming_insert_after_extends_result(self):
+        src = ('sS(0) sE(0,"r") sM(0,1) sE(1,"item") cD(1,"a") '
+               'eE(1,"item") eM(0,1) '
+               'sA(1,2) sE(2,"item") cD(2,"b") eE(2,"item") eA(1,2) '
+               'eE(0,"r") eS(0)')
+        run = run_flux("count(stream()//item)", loads(src))
+        assert run.text() == "2"
+
+    def test_incoming_insert_before_orders_result(self):
+        src = ('sS(0) sE(0,"r") sM(0,1) sE(1,"item") cD(1,"second") '
+               'eE(1,"item") eM(0,1) '
+               'sB(1,2) sE(2,"item") cD(2,"first") eE(2,"item") eB(1,2) '
+               'eE(0,"r") eS(0)')
+        run = run_flux("stream()//item", loads(src))
+        assert run.text() == ("<item>first</item><item>second</item>")
+
+
+class TestConsumerOptOut:
+    """Section V: "the stream consumer [chooses] which updates to accept
+    and which ones to ignore" — ignoring makes regions immutable."""
+
+    def test_ignored_updates_are_void(self):
+        events = StockTicker(symbols=("IBM",), n_updates=20,
+                             mutable_names=False, seed=8).events()
+        live = XFlux('stream()//quote/price', mutable_source=True)
+        frozen = XFlux('stream()//quote/price', ignore_updates=True)
+        live_run = live.start(); live_run.feed_all(events); live_run.finish()
+        cold_run = frozen.start(); cold_run.feed_all(events); cold_run.finish()
+        # The opted-out consumer keeps the snapshot price.
+        assert cold_run.text() != live_run.text()
+        snapshot_only = StockTicker(symbols=("IBM",), n_updates=0,
+                                    mutable_names=False, seed=8).events()
+        base = XFlux('stream()//quote/price').start()
+        base.feed_all(snapshot_only); base.finish()
+        assert cold_run.text() == base.text()
+
+    def test_ignoring_prunes_all_state(self):
+        events = StockTicker(n_updates=100, mutable_names=True,
+                             freeze_superseded=False, seed=9).events()
+        q = 'stream()//quote[name="IBM"]/price'
+        tracking = XFlux(q, mutable_source=True).start()
+        tracking.feed_all(events); tracking.finish()
+        opted_out = XFlux(q, ignore_updates=True).start()
+        opted_out.feed_all(events); opted_out.finish()
+        assert (opted_out.stats()["state_cells"]
+                < tracking.stats()["state_cells"] / 2)
+
+
+    def test_opt_out_with_predicates(self):
+        # The engine's own generated regions must be unaffected by the
+        # consumer's opt-out: predicates still filter correctly.
+        events = StockTicker(n_updates=30, mutable_names=True,
+                             name_update_fraction=0.5, seed=4).events()
+        snapshot = StockTicker(n_updates=0, mutable_names=True,
+                               seed=4).events()
+        q = 'count(stream()//quote[name="IBM"])'
+        opted = XFlux(q, ignore_updates=True).start()
+        opted.feed_all(events); opted.finish()
+        base = XFlux(q).start()
+        base.feed_all(snapshot); base.finish()
+        assert opted.text() == base.text() == "1"
