@@ -16,6 +16,11 @@ Options:
                        continuous answer), not just the final result
     --stats            print execution metrics to stderr
     --query-file FILE  read the query text from a file instead of argv
+
+There is also a benchmark subcommand that records the paper's evaluation
+quantities as machine-readable JSON (see repro.bench.record):
+
+    python -m repro bench --scale 0.1 --repeats 3 --out-dir .
 """
 
 from __future__ import annotations
@@ -53,6 +58,43 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def build_bench_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Record benchmark results as BENCH_queries.json / "
+                    "BENCH_tokenize.json")
+    ap.add_argument("--scale", type=float, default=0.1,
+                    help="dataset scale factor (default 0.1)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repetitions; best is kept (default 3)")
+    ap.add_argument("--out-dir", default=".",
+                    help="directory for the JSON files (default: cwd)")
+    ap.add_argument("--queries",
+                    help="comma-separated subset, e.g. Q1,Q2 (default: "
+                         "all nine)")
+    return ap
+
+
+def bench_main(argv, out, err) -> int:
+    from .bench.record import write_bench_files
+    args = build_bench_arg_parser().parse_args(list(argv))
+    queries = args.queries.split(",") if args.queries else None
+    try:
+        paths = write_bench_files(out_dir=args.out_dir, scale=args.scale,
+                                  repeats=args.repeats, queries=queries,
+                                  err=err)
+    except KeyError as exc:
+        print("error: unknown query {} (expected Q1..Q9)".format(exc),
+              file=err)
+        return 2
+    except OSError as exc:
+        print("error: {}".format(exc), file=err)
+        return 2
+    for path in paths.values():
+        print(path, file=out)
+    return 0
+
+
 def _read_text(path: Optional[str]) -> str:
     if path is None or path == "-":
         return sys.stdin.read()
@@ -71,8 +113,10 @@ def main(argv: Optional[Iterable[str]] = None,
          out=None, err=None) -> int:
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
-    args = build_arg_parser().parse_args(
-        list(argv) if argv is not None else None)
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:], out, err)
+    args = build_arg_parser().parse_args(argv)
 
     if args.query_file:
         query_text = _read_text(args.query_file)

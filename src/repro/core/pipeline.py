@@ -13,9 +13,11 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from ..events.model import Event
+from ..events.model import FREEZE, Event
 from .transformer import Context, StateTransformer
-from .wrapper import UpdateWrapper
+from .wrapper import _FIRST_UPDATE, UpdateWrapper
+
+_FREEZE = int(FREEZE)
 
 
 class Filter:
@@ -70,14 +72,33 @@ class Pipeline:
         stages: the transformers, source side first.
         sink: an object with ``process(event)`` (e.g. a Display or a
             Collector); events surviving the last stage land there.
+        always_active: disable the wrappers' update-free fast path (every
+            stage pays full region bookkeeping from the first event); used
+            by differential tests and ablations.
     """
 
     def __init__(self, ctx: Context, stages: Sequence[StateTransformer],
-                 sink) -> None:
+                 sink, always_active: bool = False) -> None:
         self.ctx = ctx
-        self.wrappers: List[UpdateWrapper] = [UpdateWrapper(t)
-                                              for t in stages]
+        self.wrappers: List[UpdateWrapper] = [
+            UpdateWrapper(t, always_active=always_active) for t in stages]
         self.sink = sink
+        # Per-stage kind-indexed handler tables, captured once: the batched
+        # driver calls ``tables[idx][e.kind](e)`` instead of re-resolving
+        # wrapper attributes per event.  The table objects have fixed
+        # identity — the dormant -> active transition mutates them in
+        # place — so caching here is safe for the pipeline's lifetime.
+        self._tables = [w.handlers for w in self.wrappers]
+        # Per-stage routing sets (live views, mutated by the wrappers as
+        # regions open and close): a data event whose id is not in a
+        # stage's set would be passed through verbatim by that stage, so
+        # the batched driver skips the dispatch entirely.  Routing is off
+        # in always-active mode (per-stage call counts must match the
+        # reference driver) and when any stage customizes on_other.
+        if not always_active and all(t.passes_foreign for t in stages):
+            self._routes = [w.tracked for w in self.wrappers]
+        else:
+            self._routes = None
         self._finished = False
 
     def feed(self, e: Event) -> None:
@@ -88,6 +109,9 @@ class Pipeline:
         before the stage's next emitted event.  This ordering is
         semantically significant — the global mutability map means a
         ``freeze`` must not overtake the ``hide`` emitted just before it.
+
+        This recursive form is the reference implementation;
+        :meth:`feed_batch` is the equivalent flattened driver.
         """
         self._dispatch(0, e)
 
@@ -100,9 +124,81 @@ class Pipeline:
         for out in wrappers[idx].dispatch(e):
             self._dispatch(nxt, out)
 
-    def feed_all(self, events: Iterable[Event]) -> None:
+    def feed_batch(self, events: Iterable[Event]) -> None:
+        """Push a batch of source events through the chain iteratively.
+
+        Equivalent to ``for e in events: self.feed(e)`` but flattens the
+        recursive dispatch into an explicit work-list loop: pending
+        (stage, event) pairs live on a LIFO stack, which reproduces the
+        depth-first ordering invariant documented in :meth:`feed` exactly
+        — an emitted event traverses the whole rest of the chain before
+        its siblings, so a ``freeze`` can never overtake the ``hide``
+        emitted just before it.
+        """
+        self._drain(0, events)
+
+    def _drain(self, start_idx: int, events: Iterable[Event]) -> None:
+        tables = self._tables
+        routes = self._routes
+        n = len(tables)
+        sink_process = self.sink.process
+        fix_freeze = self.ctx.fix.freeze
+        stack: List[tuple] = []
+        push = stack.append
+        pop = stack.pop
         for e in events:
-            self._dispatch(0, e)
+            idx = start_idx
+            ev = e
+            while True:
+                kind = ev.kind
+                if routes is not None:
+                    # Routing: skip every stage that would pass the event
+                    # through unchanged.  Data events and update starts /
+                    # freeze / hide / show are keyed by the event id; a
+                    # bracket end is keyed by the substream it closes (the
+                    # id a tracking stage registered at the start).  A
+                    # wrapper that tracks none of an update's ids has no
+                    # local effect — the single global side effect, the
+                    # fix-map write of freeze, is applied here once (it is
+                    # idempotent, so tracking stages re-applying it is
+                    # harmless).  Wrappers whose sU handler would register
+                    # state always have the target id in their route map,
+                    # so they are never skipped.
+                    if kind < _FIRST_UPDATE:
+                        key = ev.id
+                    elif kind >= _FREEZE:
+                        if kind == _FREEZE:
+                            fix_freeze(ev.id)
+                        key = ev.id
+                    elif kind & 1:  # sM/sR/sB/sA: odd Kind values
+                        key = ev.id
+                    else:           # eM/eR/eB/eA
+                        key = ev.sub
+                    while idx < n and key not in routes[idx]:
+                        idx += 1
+                if idx < n:
+                    out = tables[idx][kind](ev)
+                    m = len(out)
+                    if m:
+                        idx += 1
+                        if m > 1:
+                            # Later siblings wait on the stack (reverse
+                            # order, LIFO) while the first output runs
+                            # the rest of the chain.
+                            i = m - 1
+                            while i > 0:
+                                push((idx, out[i]))
+                                i -= 1
+                        ev = out[0]
+                        continue
+                else:
+                    sink_process(ev)
+                if not stack:
+                    break
+                idx, ev = pop()
+
+    def feed_all(self, events: Iterable[Event]) -> None:
+        self.feed_batch(events)
 
     def finish(self) -> None:
         """Flush every stage's ``on_end`` through the rest of the chain."""
@@ -110,8 +206,7 @@ class Pipeline:
             return
         self._finished = True
         for idx, w in enumerate(self.wrappers):
-            for ev in w.on_end():
-                self._dispatch(idx + 1, ev)
+            self._drain(idx + 1, w.on_end())
         finish = getattr(self.sink, "finish", None)
         if finish is not None:
             finish()

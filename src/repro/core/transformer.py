@@ -113,6 +113,12 @@ class StateTransformer:
     """
 
     inert = True
+    #: When True (the base-class contract), :meth:`on_other` forwards
+    #: foreign-stream events unchanged and has no side effects, so the
+    #: batched pipeline driver may route events past this stage without
+    #: calling it.  A subclass that overrides :meth:`on_other` with
+    #: different behaviour MUST set this to False to opt out of routing.
+    passes_foreign = True
     #: When True, events emitted while processing update-region content are
     #: discarded; the operator's visible result is refreshed through
     #: on_live_adjusted instead (used by aggregates whose whole output is a

@@ -40,7 +40,8 @@ Other deviations from the paper's pseudo-code are listed in DESIGN.md.
 
 from __future__ import annotations
 
-from fractions import Fraction
+from bisect import bisect_left, bisect_right, insort
+from math import gcd
 from typing import Dict, List, Optional
 
 from ..events.model import (EA, EB, EM, ER, FREEZE, HIDE, SA, SB, SHOW, SM,
@@ -52,11 +53,85 @@ from .transformer import State, StateTransformer, UpdatePolicy
 #: State-map key for the live (main stream) state.
 LIVE = "live"
 
+#: Every Kind below START_MUTABLE is plain stream data (see events.model;
+#: the enum is laid out so one integer compare classifies an event).
+_FIRST_UPDATE = int(SM)
+_N_KINDS = int(SHOW) + 1
+
+
+class _Rat:
+    """Exact rational order timestamp (the paper's ``order`` values).
+
+    ``fractions.Fraction`` spends most of its comparison time in ABC
+    instance checks and normalization; order timestamps only ever meet
+    other order timestamps, and the two operations that create them
+    (±1 and midpoint) keep denominators as powers of two, so a slotted
+    cross-multiplying rational is sufficient — and several times faster
+    on the bisect-heavy paths (:meth:`UpdateWrapper._between_below`,
+    ``_adjust_later``).
+    """
+
+    __slots__ = ("n", "d")
+
+    def __init__(self, n: int, d: int = 1) -> None:
+        self.n = n
+        self.d = d
+
+    def __lt__(self, other: "_Rat") -> bool:
+        return self.n * other.d < other.n * self.d
+
+    def __le__(self, other: "_Rat") -> bool:
+        return self.n * other.d <= other.n * self.d
+
+    def __gt__(self, other: "_Rat") -> bool:
+        return self.n * other.d > other.n * self.d
+
+    def __ge__(self, other: "_Rat") -> bool:
+        return self.n * other.d >= other.n * self.d
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not _Rat:
+            return NotImplemented
+        return self.n * other.d == other.n * self.d
+
+    def __hash__(self) -> int:
+        g = gcd(self.n, self.d)
+        return hash((self.n // g, self.d // g))
+
+    def __bool__(self) -> bool:
+        return self.n != 0
+
+    def __repr__(self) -> str:
+        return "{}/{}".format(self.n, self.d)
+
+
+def _rat_mid(a: _Rat, b: _Rat) -> _Rat:
+    """(a + b) / 2, stripping common powers of two (cheap gcd)."""
+    n = a.n * b.d + b.n * a.d
+    d = 2 * a.d * b.d
+    while not (n & 1 or d & 1):
+        n >>= 1
+        d >>= 1
+    return _Rat(n, d)
+
 
 class UpdateWrapper:
-    """Wrap a :class:`StateTransformer`, handling update events generically."""
+    """Wrap a :class:`StateTransformer`, handling update events generically.
 
-    def __init__(self, transformer: StateTransformer) -> None:
+    The wrapper starts *dormant*: until the first update-kind event
+    (sM/sR/sB/sA/eU/freeze/hide/show) reaches it, :meth:`dispatch` is a
+    straight pass-through to the transformer — no region tracking, no
+    state residency management, no per-event bookkeeping beyond the call
+    counter.  Pure-query streams never pay for the Section-IV machinery.
+    The first update event permanently activates the full path; the
+    transition is lossless because the dormant path maintains exactly the
+    invariants the active path expects (live state loaded, ``start[LIVE]``
+    holding the construction-time snapshot).  ``always_active=True``
+    disables the fast path (used by differential tests).
+    """
+
+    def __init__(self, transformer: StateTransformer,
+                 always_active: bool = False) -> None:
         self.t = transformer
         self.ctx = transformer.ctx
         self.input_ids = frozenset(transformer.input_ids)
@@ -64,7 +139,7 @@ class UpdateWrapper:
         self.start: Dict[object, State] = {}
         self.end: Dict[object, State] = {}
         self.shadow: Dict[object, State] = {}
-        self.order: Dict[object, Optional[Fraction]] = {}
+        self.order: Dict[object, Optional[_Rat]] = {}
         self.start[LIVE] = transformer.get_state()
         self.end[LIVE] = self.start[LIVE]
         self.order[LIVE] = None  # None = +infinity: always adjusted
@@ -75,14 +150,47 @@ class UpdateWrapper:
         self._root: Dict[int, int] = {}        # region -> root input stream
         self._out_region: Dict[int, int] = {}  # region -> output-space id
         self._anchor_at_open: Dict[int, int] = {}  # region -> anchor then
+        # region -> (j_out, (output_id, anchor), translate?) — everything
+        # _relabel_out needs, precomputed once at bracket open.
+        self._region_info: Dict[int, tuple] = {}
         self._inner: Dict[int, set] = {}  # region -> subs opened within it
         self._parent: Dict[int, Optional[int]] = {}  # bracket nesting
         self._bracket_stack: List[int] = []          # open tracked brackets
         self._policy_cache: Dict[int, UpdatePolicy] = {}
+        # region/alias id -> its policy, recorded once at bracket open so
+        # the close / freeze / hide / show paths skip the root lookup.
+        self._rpolicy: Dict[int, UpdatePolicy] = {}
         self._loaded: object = LIVE
-        self._tick = Fraction(1)
+        self._resident: Optional[State] = None
+        self._tick = 1
         self.calls = 0
         self.peak_states = 1
+        self._dormant = not always_active
+        # Sorted mirror of the non-None values in self.order, so the
+        # between-timestamp searches are O(log n) instead of a full scan.
+        self._order_sorted: List[_Rat] = []
+        self._chain_cache: Dict[int, tuple] = {}
+        # Per-region (input_root, region_chain) pairs for the data hot
+        # path: both are fixed when the bracket opens, so one dict probe
+        # replaces two.  Entries die with the region (freeze).
+        self._rcfg: Dict[int, tuple] = {}
+        # Every stream id whose *data* events this stage processes (rather
+        # than passes through), mapped to its facet: 0 = live (input or
+        # fixed-sM alias), 1 = raw/shared, 2 = region with own state copy.
+        # One dict probe classifies an event completely (the facets are
+        # disjoint by construction — update-region ids are fresh).  The
+        # batched pipeline driver consults the key set to skip stages an
+        # event would traverse unchanged (see Pipeline._drain for how
+        # update events are keyed).
+        self.tracked: Dict[int, int] = dict.fromkeys(self.input_ids, 0)
+        #: Kind-indexed handler list; fixed identity, mutated in place on
+        #: the dormant -> active transition (see _activate_on).
+        self.handlers: List = self._build_handler_table()
+
+    @property
+    def dormant(self) -> bool:
+        """True while the update-free fast path is in effect."""
+        return self._dormant
 
     # -- policy ---------------------------------------------------------------
 
@@ -97,63 +205,174 @@ class UpdateWrapper:
         return cached
 
     # -- state residency --------------------------------------------------------
+    #
+    # ``_resident`` caches the snapshot known to equal the transformer's
+    # in-object state (None = unknown/dirty; every process() call dirties
+    # it).  In the ubiquitous non-interleaved bracket lifecycle
+    # (sU -> content -> eU -> freeze) this elides *all* redundant
+    # get_state/set_state round-trips: the open's snapshot is reused at
+    # the first load, and the commit restores a state the transformer
+    # already holds.
 
     def _save(self) -> None:
         """Flush the transformer's in-object state into the end map."""
-        self.end[self._loaded] = self.t.get_state()
+        r = self._resident
+        if r is None:
+            r = self.t.get_state()
+            self._resident = r
+        self.end[self._loaded] = r
 
     def _load(self, key: object) -> None:
         if key is self._loaded or key == self._loaded:
             return
-        self._save()
-        self.t.set_state(self.end[key])
+        # _save(), inlined: this runs a couple hundred thousand times per
+        # query on region-interleaved streams.
+        r = self._resident
+        if r is None:
+            r = self.t.get_state()
+            self._resident = r
+        self.end[self._loaded] = r
+        s = self.end[key]
+        if s is not r:
+            self.t.set_state(s)
+            self._resident = s
         self._loaded = key
 
+    def _load_live(self) -> None:
+        """Make LIVE the loaded key (caller has already saved)."""
+        s = self.end[LIVE]
+        if s is not self._resident:
+            self.t.set_state(s)
+            self._resident = s
+        self._loaded = LIVE
+
     # -- dispatch -----------------------------------------------------------------
+    #
+    # Dispatch is a fixed list of handlers indexed by ``int(e.kind)`` (the
+    # Kind enum is laid out for exactly this).  The batched pipeline driver
+    # calls ``wrapper.handlers[e.kind](e)`` directly, skipping even the
+    # dispatch shim; each handler keeps its own ``calls`` accounting.  The
+    # list object never changes identity — the dormant -> active transition
+    # mutates it in place, so drivers may cache it once per run.
 
     def dispatch(self, e: Event) -> List[Event]:
         """The effective state transformer ``f'`` extended with updates."""
+        return self.handlers[e.kind](e)
+
+    def _build_handler_table(self) -> List:
+        """Kind-indexed handler list (one entry per ``Kind`` value)."""
+        if self._dormant:
+            return ([self._dormant_data] * _FIRST_UPDATE
+                    + [self._activate_on] * (_N_KINDS - _FIRST_UPDATE))
+        h: List = [self._active_data] * _FIRST_UPDATE
+        h += [None] * (_N_KINDS - _FIRST_UPDATE)
+        for k in UPDATE_STARTS:
+            h[k] = self._on_update_start
+        for k in UPDATE_ENDS:
+            h[k] = self._on_update_end
+        h[FREEZE] = self._on_freeze
+        h[HIDE] = self._on_hide
+        h[SHOW] = self._on_show
+        return h
+
+    def _activate_on(self, e: Event) -> List[Event]:
+        """First update-kind event: leave the dormant fast path for good.
+
+        The transition is lossless because the dormant path maintains the
+        invariants the active path expects (live state loaded, its snapshot
+        in ``start``/``end``).  The table is mutated *in place* so cached
+        references see the active handlers immediately.
+        """
+        self._dormant = False
+        self.handlers[:] = self._build_handler_table()
+        return self.handlers[e.kind](e)
+
+    def _dormant_data(self, e: Event) -> List[Event]:
+        # Update-free fast path: no update has ever reached this stage, so
+        # there are no regions, no aliases, and the live state is the one
+        # loaded in the transformer.  region_mutable / current_region keep
+        # their class defaults (False / None).
         self.calls += 1
-        kind = e.kind
-        if not e.is_update:
-            eid = e.id
-            if eid in self.input_ids or eid in self._alias_live:
-                self._load(LIVE)
-                self.t.region_mutable = False
-                self.t.current_input_root = eid
-                self.t.current_region = None
-                return self.t.process(e)
-            if eid in self._raw or eid in self._shared:
-                self._load(LIVE)
-                self.t.region_mutable = True
-                self.t.current_input_root = self._root.get(eid)
-                self.t.current_region = eid
-                return self.t.process(e)
-            if eid in self._regions:
-                self._load(eid)
-                self.t.region_mutable = True
-                self.t.current_input_root = self._root.get(eid)
-                self.t.current_region = eid
-                self.t.current_region_chain = self._region_chain(eid)
-                out = self.t.process(e)
-                if self.t.suppress_region_output:
-                    return []
-                return self._relabel_out(out, eid)
-            return self.t.on_other(e)
-        if kind in UPDATE_STARTS:
-            return self._on_update_start(e)
-        if kind in UPDATE_ENDS:
-            return self._on_update_end(e)
-        if kind == HIDE:
-            return self._on_hide(e)
-        if kind == SHOW:
-            return self._on_show(e)
-        if kind == FREEZE:
-            return self._on_freeze(e)
-        return self.t.on_other(e)
+        t = self.t
+        if e.id in self.input_ids:
+            t.current_input_root = e.id
+            return t.process(e)
+        return t.on_other(e)
+
+    def _active_data(self, e: Event) -> List[Event]:
+        self.calls += 1
+        eid = e.id
+        t = self.t
+        facet = self.tracked.get(eid)
+        if facet is None:
+            return t.on_other(e)
+        if facet == 0:  # input stream or fixed-sM alias: live state
+            loaded = self._loaded
+            if loaded is not LIVE:
+                # _load(LIVE), inlined; the final resident write is folded
+                # into the pre-process() invalidation below.
+                r = self._resident
+                if r is None:
+                    r = t.get_state()
+                self.end[loaded] = r
+                s = self.end[LIVE]
+                if s is not r:
+                    t.set_state(s)
+                self._loaded = LIVE
+            t.region_mutable = False
+            t.current_input_root = eid
+            t.current_region = None
+            self._resident = None
+            return t.process(e)
+        if facet == 2:  # region with its own state copy
+            loaded = self._loaded
+            if eid != loaded:
+                r = self._resident
+                if r is None:
+                    r = t.get_state()
+                self.end[loaded] = r
+                s = self.end[eid]
+                if s is not r:
+                    t.set_state(s)
+                self._loaded = eid
+            t.region_mutable = True
+            cfg = self._rcfg.get(eid)
+            if cfg is None:
+                cfg = self._rcfg[eid] = (self._root.get(eid),
+                                         self._region_chain(eid),
+                                         self._region_info.get(eid))
+            t.current_input_root, t.current_region_chain, info = cfg
+            t.current_region = eid
+            self._resident = None
+            out = t.process(e)
+            if not out or t.suppress_region_output:
+                return []
+            if info is None:
+                return out
+            # _relabel_out, specialized for the dominant shape: exactly
+            # one data event emitted while replaying region content.
+            if len(out) == 1:
+                ev = out[0]
+                if ev.kind < _FIRST_UPDATE:
+                    inner = self._inner.get(eid)
+                    if inner is not None and ev.id in inner:
+                        return out
+                    if info[2] or ev.id in info[1]:  # translate / own
+                        return [ev.relabel(info[0])]
+                    return out
+            return self._relabel_out(out, eid)
+        # facet == 1: RAW / SHARED region content against the live state
+        if self._loaded is not LIVE:
+            self._load(LIVE)
+        t.region_mutable = True
+        t.current_input_root = self._root.get(eid)
+        t.current_region = eid
+        self._resident = None
+        return t.process(e)
 
     def on_end(self) -> List[Event]:
         self._load(LIVE)
+        self._resident = None
         return self.t.on_end()
 
     def _relabel_out(self, out: List[Event], region: int) -> List[Event]:
@@ -165,39 +384,40 @@ class UpdateWrapper:
         retargeted the same way, so operator-generated sub-brackets nest
         inside the translated bracket.
         """
-        j_out = self._out_region.get(region)
-        if j_out is None:
+        info = self._region_info.get(region)
+        if info is None:
             return out
-        policy = self._policy(region)
-        own = {self.t.output_id,
-               self._anchor_at_open.get(region, self.t.output_id)}
-        inner = self._inner.setdefault(region, set())
+        j_out, own, translate = info
+        inner = self._inner.get(region)
         result: List[Event] = []
+        append = result.append
         for ev in out:
-            if ev.is_update:
+            if ev.kind >= _FIRST_UPDATE:
                 if ev.id in own:
                     # Operator-generated sub-bracket anchored at the
                     # operator's own output: nest it inside the bracket.
-                    result.append(Event(ev.kind, j_out, sub=ev.sub))
+                    append(Event(ev.kind, j_out, sub=ev.sub))
                 else:
-                    result.append(ev)
+                    append(ev)
                 if ev.kind in UPDATE_STARTS and ev.sub is not None:
+                    if inner is None:
+                        inner = self._inner[region] = set()
                     inner.add(ev.sub)
-            elif ev.id in inner:
+            elif inner is not None and ev.id in inner:
                 # Content of a container the operator opened inside this
                 # very bracket (e.g. a predicate's per-element region):
                 # already correctly placed.
-                result.append(ev)
-            elif policy == UpdatePolicy.TRANSLATE:
+                append(ev)
+            elif translate:
                 # Everything else the operator emits while replaying this
                 # region is the bracket's content — including events
                 # labeled with a container opened in an *earlier* scope
                 # (e.g. a replacement for a long-closed element).
-                result.append(ev.relabel(j_out))
+                append(ev.relabel(j_out))
             elif ev.id in own:
-                result.append(ev.relabel(j_out))
+                append(ev.relabel(j_out))
             else:
-                result.append(ev)
+                append(ev)
         return result
 
     # -- update bookkeeping ----------------------------------------------------------
@@ -207,14 +427,19 @@ class UpdateWrapper:
                 or i in self._alias_live or i in self._raw
                 or i in self._shared)
 
+    def _untrack(self, i: int) -> None:
+        """Drop ``i`` from the routing map unless some facet still uses it."""
+        if not self._tracks(i):
+            self.tracked.pop(i, None)
+
     def _key_of(self, i: int) -> object:
         return LIVE if (i in self.input_ids or i in self._alias_live) else i
 
-    def _order_of(self, i: int) -> Fraction:
+    def _order_of(self, i: int) -> _Rat:
         key = self._key_of(i)
         if key is LIVE:
-            return Fraction(1)  # the paper: order of sS(stream, i) is 1
-        return self.order[key] or Fraction(1)
+            return _Rat(1)  # the paper: order of sS(stream, i) is 1
+        return self.order[key] or _Rat(1)
 
     def _out_target(self, i: int) -> int:
         """Map an input-space update target to output space."""
@@ -223,8 +448,9 @@ class UpdateWrapper:
         return self._out_region.get(i, self.t.output_id)
 
     def _on_update_start(self, e: Event) -> List[Event]:
+        self.calls += 1
         i, j = e.id, e.sub
-        if not self._tracks(i):
+        if i not in self.tracked:  # == _tracks(i); one set probe
             return self.t.on_other(e)
         fix = self.ctx.fix
         if e.kind == SM:
@@ -234,15 +460,20 @@ class UpdateWrapper:
         root = self._root.get(i, i if i in self.input_ids else None)
         if root is not None:
             self._root[j] = root
-        policy = self._policy(j)
+        policy = (self._policy_cache.get(self._root.get(j))
+                  or self._policy(j))
+        self._rpolicy[j] = policy
         if policy == UpdatePolicy.RAW:
             self._raw.add(j)
+            self.tracked[j] = 1
             self._load(LIVE)
             self.t.current_input_root = root
             self.t.current_region = None
+            self._resident = None
             return self.t.process(e)
         if policy == UpdatePolicy.SHARED:
             self._shared.add(j)
+            self.tracked[j] = 1
             return []
         if fix.is_fixed(j):
             if e.kind == SM:
@@ -250,28 +481,31 @@ class UpdateWrapper:
                 # stream data, processed against the live state, no copies,
                 # and the bracket disappears from the output.
                 self._alias_live.add(j)
+                self.tracked[j] = 0
                 if policy in (UpdatePolicy.TRANSPARENT, UpdatePolicy.TEE):
                     return [e]
                 return []
             # A fixed sR/sB/sA target means the update is void: its content
             # stays untracked and is ignored downstream.
+            self._rpolicy.pop(j, None)
             return []
         self._save()
         if e.kind == SM:
             base = self.end[self._key_of(i)]
-            self.order[j] = self._next_tick()
+            self._order_insert(j, self._next_tick())
         elif e.kind == SA:
             base = self.end[self._key_of(i)]
-            self.order[j] = self._between_above(self._order_of(i))
+            self._order_insert(j, self._between_above(self._order_of(i)))
         elif e.kind == SR:
             base = self.start[self._key_of(i)]
-            self.order[j] = self._order_of(i)
+            self._order_insert(j, self._order_of(i))
         else:  # SB
             base = self.start[self._key_of(i)]
-            self.order[j] = self._between_below(self._order_of(i))
+            self._order_insert(j, self._between_below(self._order_of(i)))
         self.start[j] = base
         self.end[j] = base
         self._regions.add(j)
+        self.tracked[j] = 2
         # Positional containment, not temporal nesting: a mutable region
         # lives inside its target; replace/insert content occupies a spot
         # inside the target's own container (brackets may interleave).
@@ -289,38 +523,58 @@ class UpdateWrapper:
             return []
         j_out = self.ctx.fresh_id()
         self._out_region[j] = j_out
-        self._anchor_at_open[j] = self.t.bracket_anchor()
+        anchor = self.t.bracket_anchor()
+        self._anchor_at_open[j] = anchor
+        self._region_info[j] = (j_out, (self.t.output_id, anchor),
+                                policy == UpdatePolicy.TRANSLATE)
+        # _out_target(i), inlined with the anchor reused.
+        if i in self.input_ids or i in self._alias_live:
+            target = anchor
+        else:
+            target = self._out_region.get(i, self.t.output_id)
         if e.kind == SM:
             fix.declare_mutable(j_out)
         else:
-            fix.inherit(self._out_target(i), j_out)
-        translated = Event(e.kind, self._out_target(i), sub=j_out)
+            fix.inherit(target, j_out)
+        translated = Event(e.kind, target, sub=j_out)
         if policy == UpdatePolicy.TEE:
             return [e, translated]
         return [translated]
 
     def _on_update_end(self, e: Event) -> List[Event]:
+        self.calls += 1
         i, j = e.id, e.sub
         if j in self._raw:
             self._load(LIVE)
             self.t.current_input_root = self._root.get(j)
             self.t.current_region = None
+            self._resident = None
             return self.t.process(e)
         if j in self._shared:
             return []
         if j in self._alias_live:
             self._alias_live.discard(j)
-            policy = self._policy(j)
+            self._untrack(j)
+            policy = (self._rpolicy.pop(j, None)
+                      or self._policy_cache.get(self._root.get(j))
+                      or self._policy(j))
             if policy in (UpdatePolicy.TRANSPARENT, UpdatePolicy.TEE):
                 return [e]
             return []
         if j not in self._regions:
             return self.t.on_other(e)
-        if j in self._bracket_stack:
-            self._bracket_stack.remove(j)
+        bs = self._bracket_stack
+        if bs:
+            # Brackets almost always close LIFO; pop beats a scan+remove.
+            if bs[-1] == j:
+                bs.pop()
+            elif j in bs:
+                bs.remove(j)
         self._save()
         out: List[Event] = []
-        policy = self._policy(j)
+        policy = (self._rpolicy.get(j)
+                  or self._policy_cache.get(self._root.get(j))
+                  or self._policy(j))
         j_out = self._out_region.get(j)
         if policy == UpdatePolicy.TRANSPARENT:
             out.append(e)
@@ -335,8 +589,7 @@ class UpdateWrapper:
         if key_i not in self.end or j not in self.end:
             # The target's state was already pruned (frozen mid-bracket):
             # nothing to commit.
-            self._loaded = LIVE
-            self.t.set_state(self.end[LIVE])
+            self._load_live()
             return out
         # An update completing inside a *hidden* region contributes to
         # that region's shadow (revealed by a later show), never to the
@@ -358,8 +611,7 @@ class UpdateWrapper:
                     if not self.t.inert else (
                         self.end[j] if self.end[key_i] == self.start[j]
                         else self.end[key_i])
-            self._loaded = LIVE
-            self.t.set_state(self.end[LIVE])
+            self._load_live()
             return out
         if kind == EM:
             # The paper's "end[id] <- end[uid]", generalized to a delta
@@ -377,15 +629,16 @@ class UpdateWrapper:
             if key_i is LIVE:
                 # Make the in-object state current *before* asking the
                 # transformer to re-emit its visible value.
-                self._loaded = LIVE
-                self.t.set_state(becomes)
+                self._load_live()
             if (self.t.suppress_region_output and not self.t.inert
                     and key_i is LIVE and old_enc != becomes):
                 out.extend(self.t.on_live_adjusted(old_enc, becomes))
+                self._resident = None
         elif kind == ER:
             s1, s2 = self.end[key_i], self.end[j]
             if not self.t.inert:
                 out.extend(self.t.on_transition(j, s1, s2))
+                self._resident = None
                 self._adjust_later(j, s1, s2, out)
             if key_i is not LIVE:
                 # The replaced region's own end state is now the
@@ -398,19 +651,22 @@ class UpdateWrapper:
             s1, s2 = self.start[j], self.end[j]
             if not self.t.inert:
                 out.extend(self.t.on_transition(j, s1, s2))
+                self._resident = None
                 self._adjust_later(j, s1, s2, out)
-        self._loaded = LIVE
-        self.t.set_state(self.end[LIVE])
+        self._load_live()
         return out
 
     def _on_hide(self, e: Event) -> List[Event]:
+        self.calls += 1
         uid = e.id
         if uid in self._raw:
             self._load(LIVE)
             self.t.current_input_root = self._root.get(uid)
             self.t.current_region = None
+            self._resident = None
             return self.t.process(e)
         if uid in self._shared:
+            self._resident = None
             return list(self.t.on_region_hidden(uid))
         if uid not in self._regions or self.ctx.fix.is_fixed(uid):
             return self.t.on_other(e)
@@ -428,22 +684,27 @@ class UpdateWrapper:
                                                 s_end, s_start)
         elif not self.t.inert:
             out.extend(self.t.on_transition(uid, s_end, s_start))
+            self._resident = None
             self._adjust_later(uid, s_end, s_start, out)
         self.shadow[uid] = s_end
         self.end[uid] = s_start
         if anchor is None and not self.t.inert:
             out.extend(self.t.on_region_hidden(uid))
+            self._resident = None
         self._reload()
         return out
 
     def _on_show(self, e: Event) -> List[Event]:
+        self.calls += 1
         uid = e.id
         if uid in self._raw:
             self._load(LIVE)
             self.t.current_input_root = self._root.get(uid)
             self.t.current_region = None
+            self._resident = None
             return self.t.process(e)
         if uid in self._shared:
+            self._resident = None
             return list(self.t.on_region_shown(uid))
         if uid not in self._regions or self.ctx.fix.is_fixed(uid):
             return self.t.on_other(e)
@@ -458,16 +719,20 @@ class UpdateWrapper:
                                                 s_end, s_shadow)
         elif not self.t.inert:
             out.extend(self.t.on_transition(uid, s_end, s_shadow))
+            self._resident = None
             self._adjust_later(uid, s_end, s_shadow, out)
         self.end[uid] = s_shadow
         if anchor is None and not self.t.inert:
             out.extend(self.t.on_region_shown(uid))
+            self._resident = None
         self._reload()
         return out
 
     def _forward_toggle(self, e: Event, uid: int) -> List[Event]:
         """Forward hide/show/freeze per the region's policy."""
-        policy = self._policy(uid)
+        policy = (self._rpolicy.get(uid)
+                  or self._policy_cache.get(self._root.get(uid))
+                  or self._policy(uid))
         if policy == UpdatePolicy.CONSUME:
             return []
         if policy == UpdatePolicy.TRANSPARENT:
@@ -479,6 +744,7 @@ class UpdateWrapper:
         return translated
 
     def _on_freeze(self, e: Event) -> List[Event]:
+        self.calls += 1
         uid = e.id
         self.ctx.fix.freeze(uid)
         if uid in self._raw:
@@ -486,51 +752,73 @@ class UpdateWrapper:
             self.t.current_input_root = self._root.get(uid)
             self.t.current_region = None
             self._raw.discard(uid)
+            self._untrack(uid)
             self._root.pop(uid, None)
+            self._rpolicy.pop(uid, None)
             return self.t.process(e)
         if uid in self._shared:
             self._shared.discard(uid)
+            self._untrack(uid)
             self._root.pop(uid, None)
+            self._rpolicy.pop(uid, None)
             return []
         out: List[Event] = []
         if uid in self._regions or uid in self._alias_live:
             out = self._forward_toggle(e, uid)
             if not self.t.inert:
                 out.extend(self.t.on_region_frozen(uid))
+                self._resident = None
             j_out = self._out_region.pop(uid, None)
             if j_out is not None:
                 self.ctx.fix.freeze(j_out)
             # Section V: a fixed id's states are removed immediately.
             self._save()
             if self._loaded == uid:
-                self._loaded = LIVE
-                self.t.set_state(self.end[LIVE])
+                self._load_live()
             self._regions.discard(uid)
             self._alias_live.discard(uid)
+            self._untrack(uid)
             self.start.pop(uid, None)
             self.end.pop(uid, None)
             self.shadow.pop(uid, None)
-            self.order.pop(uid, None)
+            self._order_discard(self.order.pop(uid, None))
             self._root.pop(uid, None)
+            self._rcfg.pop(uid, None)
+            self._rpolicy.pop(uid, None)
             self._anchor_at_open.pop(uid, None)
+            self._region_info.pop(uid, None)
             self._inner.pop(uid, None)
-            if uid in self._bracket_stack:
-                self._bracket_stack.remove(uid)
+            bs = self._bracket_stack
+            if bs:
+                if bs[-1] == uid:
+                    bs.pop()
+                elif uid in bs:
+                    bs.remove(uid)
             return out
         return self.t.on_other(e)
 
     def _reload(self) -> None:
-        self.t.set_state(self.end[self._loaded])
+        s = self.end[self._loaded]
+        if s is not self._resident:
+            self.t.set_state(s)
+            self._resident = s
 
     # -- adjustment --------------------------------------------------------------------
 
     def _region_chain(self, eid: int) -> tuple:
-        chain = []
+        # Parent links are assigned once when a bracket opens and never
+        # reassigned, so the chain of a region is immutable and cacheable.
+        chain = self._chain_cache.get(eid)
+        if chain is not None:
+            return chain
+        parts = []
         k: Optional[int] = eid
         while k is not None:
-            chain.append(k)
+            parts.append(k)
             k = self._parent.get(k)
-        return tuple(chain)
+        chain = tuple(parts)
+        self._chain_cache[eid] = chain
+        return chain
 
     def _hidden_anchor(self, key: object) -> Optional[int]:
         """The nearest positionally-enclosing hidden region (or None)."""
@@ -586,27 +874,59 @@ class UpdateWrapper:
                 # hook: transformers re-emit from their in-object fields.
                 self._loaded = LIVE
                 self.t.set_state(new)
+                self._resident = new
                 out.extend(self.t.on_live_adjusted(old, new))
+                self._resident = None
         else:
             self.end[enclosing] = adjust(self.end[enclosing], s1, s2)
             if self._loaded == enclosing:
                 self.t.set_state(self.end[enclosing])
+                self._resident = self.end[enclosing]
 
     # -- order timestamps ------------------------------------------------------------------
 
-    def _next_tick(self) -> Fraction:
+    def _next_tick(self) -> _Rat:
         self._tick += 1
-        return self._tick
+        return _Rat(self._tick)
 
-    def _between_above(self, o: Fraction) -> Fraction:
-        higher = [v for v in self.order.values()
-                  if v is not None and v > o]
-        return (o + min(higher)) / 2 if higher else o + 1
+    def _order_insert(self, j: int, o: _Rat) -> _Rat:
+        """Record region ``j``'s timestamp in both the map and the mirror."""
+        self.order[j] = o
+        mirror = self._order_sorted
+        # sM timestamps are monotone ticks, so appends dominate; one
+        # comparison beats an O(log n) insort of Python-level __lt__ calls.
+        if not mirror or not (o < mirror[-1]):
+            mirror.append(o)
+        else:
+            insort(mirror, o)
+        return o
 
-    def _between_below(self, o: Fraction) -> Fraction:
-        lower = [v for v in self.order.values()
-                 if v is not None and v < o]
-        return (o + max(lower)) / 2 if lower else o - 1
+    def _order_discard(self, o: Optional[_Rat]) -> None:
+        if o is None:
+            return
+        mirror = self._order_sorted
+        if mirror and mirror[-1] == o:  # LIFO discard: freeze after close
+            mirror.pop()
+            return
+        idx = bisect_left(mirror, o)
+        if idx < len(mirror) and mirror[idx] == o:
+            del mirror[idx]
+
+    def _between_above(self, o: _Rat) -> _Rat:
+        """Smallest recorded timestamp above ``o``, halved towards it."""
+        mirror = self._order_sorted
+        idx = bisect_right(mirror, o)
+        if idx < len(mirror):
+            return _rat_mid(o, mirror[idx])
+        return _Rat(o.n + o.d, o.d)
+
+    def _between_below(self, o: _Rat) -> _Rat:
+        """Largest recorded timestamp below ``o``, halved towards it."""
+        mirror = self._order_sorted
+        idx = bisect_left(mirror, o)
+        if idx > 0:
+            return _rat_mid(o, mirror[idx - 1])
+        return _Rat(o.n - o.d, o.d)
 
     # -- accounting ----------------------------------------------------------------------------
 

@@ -159,8 +159,16 @@ class Event:
 
     def relabel(self, new_id: int) -> "Event":
         """Copy of this event carried on a different stream number."""
-        return Event(self.kind, new_id, self.sub, self.tag, self.text,
-                     self.oid)
+        # Hot path: bypass __init__ (one fewer Python-level call) — this
+        # runs once per stage per passing event.
+        ev = Event.__new__(Event)
+        ev.kind = self.kind
+        ev.id = new_id
+        ev.sub = self.sub
+        ev.tag = self.tag
+        ev.text = self.text
+        ev.oid = self.oid
+        return ev
 
     def __repr__(self) -> str:
         parts = [str(self.id)]

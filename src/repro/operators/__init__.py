@@ -10,13 +10,15 @@ from .descendant import DescendantStep
 from .flwor import ForTuples, TupleStrip
 from .functions import (CompareLiteral, ContainsLiteral, ExistsFlag,
                         LiteralText, compare_values)
-from .predicate import (SCOPE_ITEM, SCOPE_TUPLE, InlinePipeline, Predicate)
+from .predicate import (SCOPE_ITEM, SCOPE_TUPLE, FusedCondition,
+                        InlinePipeline, Predicate, make_condition)
 from .sorting import SortTuples, sort_key
 
 __all__ = [
     "ChildStep", "TextStep", "SelfStep", "StringValue",
     "DescendantStep",
-    "Predicate", "InlinePipeline", "SCOPE_ITEM", "SCOPE_TUPLE",
+    "Predicate", "InlinePipeline", "FusedCondition", "make_condition",
+    "SCOPE_ITEM", "SCOPE_TUPLE",
     "CompareLiteral", "ContainsLiteral", "ExistsFlag", "LiteralText",
     "compare_values",
     "Concat", "SortTuples", "sort_key",

@@ -31,12 +31,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..events.model import (CD, EE, ES, ET, SE, SS, ST, Event,
+from ..events.model import (CD, EE, ES, ET, SE, SM, SS, ST, Event,
                             end_mutable, freeze as freeze_event,
                             hide as hide_event, show as show_event,
                             start_mutable)
 from ..core.transformer import Context, State, StateTransformer
 from ..core.wrapper import UpdatePolicy
+
+_FIRST_UPDATE = int(SM)
 
 
 class AncestorJoin(StateTransformer):
@@ -81,37 +83,23 @@ class AncestorJoin(StateTransformer):
     # -- event handling ---------------------------------------------------------
 
     def process(self, e: Event) -> List[Event]:
+        kind = e.kind
         root = self.current_input_root
         if root is None:
             root = e.id
-        if not e.is_update and root == self.incoming_id:
-            return self._incoming(e)
-        return self._candidate(e)
-
-    def _incoming(self, e: Event) -> List[Event]:
-        kind = e.kind
-        if kind == SE:
-            self.incoming_depth += 1
-        elif kind == EE:
-            self.incoming_depth -= 1
-            if self.incoming_depth == 0:
-                self.right_end_oid = e.oid
-                self.right_end_region = self.current_region
-        return []
-
-    def on_region_hidden(self, uid: int) -> List[Event]:
-        # A hidden incoming item must not match candidates that arrive
-        # right after it in the cascade (the optimistic eE already set the
-        # register).  Retroactive re-matching after show() is out of scope.
-        if uid == self.right_end_region:
-            self.right_end_oid = None
-            self.right_end_region = None
-        return []
-
-    def _candidate(self, e: Event) -> List[Event]:
-        kind = e.kind
-        if kind in (SS, ES, ST, ET):
-            return [e.relabel(self.output_id)]
+        if root == self.incoming_id and kind < _FIRST_UPDATE:
+            # Incoming branch: feed the shared source-position registers.
+            if kind == SE:
+                self.incoming_depth += 1
+            elif kind == EE:
+                self.incoming_depth -= 1
+                if self.incoming_depth == 0:
+                    self.right_end_oid = e.oid
+                    self.right_end_region = self.current_region
+            return []
+        # Candidate branch.  Kind tests ordered by frequency: candidate
+        # subtrees are almost entirely sE/eE/cD; the structural kinds
+        # close out the rare case.
         out: List[Event] = []
         if kind == SE:
             if self.depth == 0:
@@ -144,10 +132,20 @@ class AncestorJoin(StateTransformer):
                     # (set freeze_decisions=False for mutable sources).
                     out.append(freeze_event(nid))
             return out
-        # cD
-        if self.nid is None:
-            return []  # stray top-level text is never an ancestor
-        return [e.relabel(self.nid)]
+        if kind == CD:
+            if self.nid is None:
+                return []  # stray top-level text is never an ancestor
+            return [e.relabel(self.nid)]
+        return [e.relabel(self.output_id)]  # sS/eS/sT/eT
+
+    def on_region_hidden(self, uid: int) -> List[Event]:
+        # A hidden incoming item must not match candidates that arrive
+        # right after it in the cascade (the optimistic eE already set the
+        # register).  Retroactive re-matching after show() is out of scope.
+        if uid == self.right_end_region:
+            self.right_end_oid = None
+            self.right_end_region = None
+        return []
 
     # -- adjustment ---------------------------------------------------------------
 

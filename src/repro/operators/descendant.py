@@ -64,47 +64,50 @@ class DescendantStep(StateTransformer):
         self.depth, self.levels = state
 
     def process(self, e: Event) -> List[Event]:
+        # Kind tests ordered by frequency (sE/eE/cD dominate); per-level
+        # copies go through Event.relabel, the slot-copying fast path.
         kind = e.kind
-        if kind in _STRUCTURAL:
-            return [e.relabel(self.output_id)]
         if kind == SE:
-            out: List[Event] = [Event(SE, cid, tag=e.tag, oid=e.oid)
-                                for cid, _ in self.levels]
+            levels = self.levels
+            out: List[Event] = \
+                [e.relabel(cid) for cid, _ in levels] if levels else []
             if self.depth >= 1 and (self.tag is None or e.tag == self.tag):
-                if not self.levels:
+                if not levels:
                     anchor = self.ctx.fresh_id()
                     out.extend((start_mutable(self.output_id, anchor),
                                 end_mutable(self.output_id, anchor),
-                                Event(SE, self.output_id, tag=e.tag,
-                                      oid=e.oid)))
+                                e.relabel(self.output_id)))
                     self.levels = ((self.output_id, anchor),)
                 else:
                     nid = self.ctx.fresh_id()
                     out.extend((start_insert_before(self.levels[-1][1], nid),
-                                Event(SE, nid, tag=e.tag, oid=e.oid)))
+                                e.relabel(nid)))
                     self.levels = self.levels + ((nid, nid),)
             self.depth += 1
             return out
         if kind == EE:
             self.depth -= 1
+            levels = self.levels
+            if not levels:
+                return []
             out = []
-            if self.levels and self._closes_top(e):
-                copy_id, region_id = self.levels[-1]
-                self.levels = self.levels[:-1]
-                out.append(Event(EE, copy_id, tag=e.tag, oid=e.oid))
-                if self.levels:
-                    out.append(end_insert_before(self.levels[-1][1],
-                                                 copy_id))
+            if self._closes_top(e):
+                copy_id, region_id = levels[-1]
+                self.levels = levels = levels[:-1]
+                out.append(e.relabel(copy_id))
+                if levels:
+                    out.append(end_insert_before(levels[-1][1], copy_id))
                     if self.freeze_regions:
                         out.append(freeze(copy_id))
                 elif self.freeze_regions:
                     out.append(freeze(region_id))  # seal the anchor
-            out.extend(Event(EE, cid, tag=e.tag, oid=e.oid)
-                       for cid, _ in reversed(self.levels))
+            if levels:
+                out.extend(e.relabel(cid) for cid, _ in reversed(levels))
             return out
-        # cD
-        return [Event(CD, cid, text=e.text, oid=e.oid)
-                for cid, _ in self.levels]
+        if kind == CD:
+            levels = self.levels
+            return [e.relabel(cid) for cid, _ in levels] if levels else []
+        return [e.relabel(self.output_id)]  # sS/eS/sT/eT
 
     def _closes_top(self, e: Event) -> bool:
         """Does this eE close the innermost open selected level?

@@ -32,6 +32,9 @@ from ..events.model import (CD, EE, ES, ET, SE, SS, ST, Event,
                             hide as hide_event, show as show_event,
                             start_mutable)
 from ..core.transformer import Context, State, StateTransformer
+from .axes import ChildStep, StringValue
+from .functions import (CompareLiteral, ContainsLiteral, ExistsFlag,
+                        compare_values)
 
 _STRUCTURAL = (SS, ES, ST, ET)
 
@@ -57,7 +60,12 @@ class InlinePipeline:
                 raise ValueError(
                     "inline condition pipelines must be inert; got {!r}"
                     .format(stage))
+            if not stage.passes_foreign:
+                raise ValueError(
+                    "inline condition stages must pass foreign events "
+                    "through unchanged; got {!r}".format(stage))
         self.stages = list(stages)
+        self._tail = self.stages[1:]
         self.input_id = input_id
         self.output_id = output_id
         self.initial = self.get_state()
@@ -77,8 +85,36 @@ class InlinePipeline:
             batch = nxt
         return [ev for ev in batch if ev.id == self.output_id]
 
+    def feed_input(self, e: Event) -> List[Event]:
+        """Feed one event already known to be the chain's input.
+
+        Equivalent to ``feed(e.relabel(self.input_id))`` without allocating
+        the relabeled copy: the first stage processes ``e`` directly (none
+        of the navigation operators read ``e.id``), and later stages pass
+        foreign events through unchanged (the ``passes_foreign`` contract
+        checked at construction).
+        """
+        batch = self.stages[0].process(e)
+        if not batch:
+            return []
+        for stage in self._tail:
+            ids = stage.input_ids
+            nxt: List[Event] = []
+            for ev in batch:
+                if ev.id in ids:
+                    nxt.extend(stage.process(ev))
+                else:
+                    nxt.append(ev)
+            if not nxt:
+                return []
+            batch = nxt
+        out = self.output_id
+        return [ev for ev in batch if ev.id == out]
+
     def get_state(self) -> Tuple:
-        return tuple(stage.get_state() for stage in self.stages)
+        # tuple([listcomp]) beats tuple(genexpr) in CPython; this runs on
+        # every wrapper state-residency switch.
+        return tuple([stage.get_state() for stage in self.stages])
 
     def set_state(self, state: Tuple) -> None:
         for stage, s in zip(self.stages, state):
@@ -86,6 +122,127 @@ class InlinePipeline:
 
     def reset(self) -> None:
         self.set_state(self.initial)
+
+
+class FusedCondition:
+    """The common condition shapes collapsed into one flat state machine.
+
+    ``[ChildStep(tag) -> StringValue -> CompareLiteral/ContainsLiteral]``
+    and ``[ChildStep(tag) -> ExistsFlag]`` cover every benchmark condition
+    (``[location="Albania"]``, ``contains(author, "Smith")``, ...).  Run
+    as three chained transformers they rebuild three nested state tuples
+    on every wrapper residency switch and cross two call layers per item
+    event; fused, the state is one flat ``(depth, collecting, parts)``
+    triple and an item event is a single call.
+
+    Event-for-event equivalent to the unfused chain: the flag cD is
+    emitted while processing the matching child's end tag (where
+    StringValue completes the string value) — or its start tag for the
+    existence test (where ExistsFlag fires) — so the predicate reads the
+    same ``region_mutable`` fixedness context in both forms.  Structural
+    events (sS/eS/sT/eT) are dropped rather than relabeled through: the
+    predicate's F2 only reads cD flags.
+    """
+
+    __slots__ = ("stages", "input_id", "output_id", "tag", "test",
+                 "exists", "depth", "collecting", "parts", "initial")
+
+    def __init__(self, stages: Sequence[StateTransformer], input_id: int,
+                 output_id: int, tag: Optional[str], test, exists: bool
+                 ) -> None:
+        self.stages = list(stages)  # the fused chain, kept for inspection
+        self.input_id = input_id
+        self.output_id = output_id
+        self.tag = tag
+        self.test = test            # str -> bool (None for exists)
+        self.exists = exists
+        self.depth = 0
+        self.collecting = False
+        self.parts: Tuple = ()
+        self.initial = (0, False, ())
+
+    def feed_input(self, e: Event) -> List[Event]:
+        kind = e.kind
+        if kind == SE:
+            d = self.depth
+            self.depth = d + 1
+            if d == 1 and not self.collecting and (
+                    self.tag is None or e.tag == self.tag):
+                self.collecting = True
+                self.parts = ()
+                if self.exists:
+                    return [Event(CD, self.output_id, text="1")]
+            return []
+        if kind == EE:
+            d = self.depth - 1
+            self.depth = d
+            if self.collecting and d == 1:
+                self.collecting = False
+                if self.exists:
+                    return []
+                flag = "1" if self.test("".join(self.parts)) else ""
+                return [Event(CD, self.output_id, text=flag)]
+            return []
+        if kind == CD:
+            if self.collecting and not self.exists:
+                self.parts = self.parts + (e.text or "",)
+            return []
+        return []
+
+    def feed(self, e: Event) -> List[Event]:
+        if e.id == self.input_id:
+            return self.feed_input(e)
+        return [e]
+
+    def get_state(self) -> Tuple:
+        return (self.depth, self.collecting, self.parts)
+
+    def set_state(self, state: Tuple) -> None:
+        self.depth, self.collecting, self.parts = state
+
+    def reset(self) -> None:
+        self.depth, self.collecting, self.parts = self.initial
+
+    def __repr__(self) -> str:
+        return "FusedCondition(/{}{}, {} -> {})".format(
+            self.tag if self.tag is not None else "*",
+            " exists" if self.exists else " test",
+            self.input_id, self.output_id)
+
+
+def make_condition(stages: Sequence[StateTransformer], input_id: int,
+                   output_id: int):
+    """Build a condition evaluator, fusing the common shapes.
+
+    Falls back to the generic :class:`InlinePipeline` whenever the stage
+    list is not one of the recognized patterns, so arbitrary condition
+    paths keep working unchanged.
+    """
+    stages = list(stages)
+    if (stages and type(stages[0]) is ChildStep
+            and stages[0].input_ids == (input_id,)):
+        child = stages[0]
+        if (len(stages) == 3 and type(stages[1]) is StringValue
+                and stages[1].input_ids == (child.output_id,)
+                and stages[2].input_ids == (stages[1].output_id,)
+                and stages[2].output_id == output_id):
+            tail = stages[2]
+            if type(tail) is CompareLiteral:
+                op, lit = tail.op, tail.literal
+                return FusedCondition(
+                    stages, input_id, output_id, child.tag,
+                    lambda s: compare_values(op, s, lit), False)
+            if type(tail) is ContainsLiteral:
+                lit = tail.literal
+                return FusedCondition(
+                    stages, input_id, output_id, child.tag,
+                    lambda s: lit in s, False)
+        if (len(stages) == 2 and type(stages[1]) is ExistsFlag
+                and stages[1].input_ids == (child.output_id,)
+                and stages[1].output_id == output_id):
+            return FusedCondition(stages, input_id, output_id, child.tag,
+                                  None, True)
+    return InlinePipeline(stages, input_id, output_id)
 
 
 class Predicate(StateTransformer):
@@ -135,12 +292,20 @@ class Predicate(StateTransformer):
     # -- state plumbing --------------------------------------------------------
 
     def get_state(self) -> State:
-        return (self.depth, self.nid, self.flags,
-                tuple(c.get_state() for c in self.conditions))
+        conds = self.conditions
+        if len(conds) == 1:  # single-conjunct fast path (the common case)
+            cs: tuple = (conds[0].get_state(),)
+        else:
+            cs = tuple([c.get_state() for c in conds])
+        return (self.depth, self.nid, self.flags, cs)
 
     def set_state(self, state: State) -> None:
         self.depth, self.nid, self.flags, cond_states = state
-        for cond, cs in zip(self.conditions, cond_states):
+        conds = self.conditions
+        if len(conds) == 1:
+            conds[0].set_state(cond_states[0])
+            return
+        for cond, cs in zip(conds, cond_states):
             cond.set_state(cs)
 
     def bracket_anchor(self) -> int:
@@ -149,11 +314,19 @@ class Predicate(StateTransformer):
     # -- condition intake (the paper's F2, one per conjunct) --------------------
 
     def _feed_condition(self, e: Event) -> None:
-        fixed = self.assume_fixed or not self.region_mutable
-        new_flags = list(self.flags)
-        for idx, cond in enumerate(self.conditions):
+        new_flags = None
+        conditions = self.conditions
+        for idx in range(len(conditions)):
+            outs = conditions[idx].feed_input(e)
+            if not outs:
+                # No condition output: this conjunct's triple is unchanged,
+                # so the flags tuple need not be rebuilt for it.
+                continue
+            fixed = self.assume_fixed or not self.region_mutable
+            if new_flags is None:
+                new_flags = list(self.flags)
             outcome, ft, ff = new_flags[idx]
-            for out in cond.feed(e.relabel(cond.input_id)):
+            for out in outs:
                 if out.kind != CD:
                     continue
                 text = out.text or ""
@@ -164,7 +337,8 @@ class Predicate(StateTransformer):
                     else:
                         outcome += 1
             new_flags[idx] = (outcome, ft, ff)
-        self.flags = tuple(new_flags)
+        if new_flags is not None:
+            self.flags = tuple(new_flags)
 
     # -- decision combination ------------------------------------------------------
 

@@ -1,69 +1,24 @@
-"""A from-scratch streaming XML tokenizer.
+"""Reference scanner: the original character-level streaming tokenizer.
 
-This is the SAX substitute the engine is built on: it turns XML text into
-the paper's event vocabulary (``sS``, ``sE``, ``cD``, ``eE``, ``eS``) without
-ever materializing a tree.  It is deliberately self-contained (no
-``xml.sax``): the paper's substrate is a SAX parser, and building it from
-scratch keeps the reproduction dependency-free and lets the benchmark
-harness count raw tokenization work the same way the paper's Table 1 does.
+This is the pre-optimization :class:`~repro.xmlio.tokenizer.XMLTokenizer`
+kept verbatim as an executable specification.  The production tokenizer
+replaced the per-character Python loops with compiled-regex scanning; the
+differential tests (``tests/test_tokenizer_chunks.py``) feed identical
+documents — split at every chunk boundary — through both scanners and
+assert event-for-event equality, so any behavioural drift in the fast
+scanner is caught against this one.
 
-Supported XML subset (ample for the paper's workloads):
-
-* elements with attributes (attributes are surfaced as hooks; by default
-  they are ignored, matching the paper's event model which has no attribute
-  events),
-* character data with the five predefined entities plus numeric character
-  references,
-* comments, processing instructions and DOCTYPE (skipped),
-* CDATA sections.
-
-The tokenizer is incremental: feed it arbitrary chunks with :meth:`feed`;
-it yields events as soon as they are complete, so it can sit behind a
-socket or a file of unbounded size.
-
-Scanning strategy: construct delimiters (``<``, ``-->``, ``]]>``, ``?>``)
-are located with ``str.find`` and whole tags are matched with compiled
-regular expressions, so the per-character work happens in C.  The mode
-machine survives chunk boundaries — a regex that fails on a partial
-construct simply leaves the bytes buffered for the next ``feed``.  The
-original character-level scanner is preserved verbatim in
-:mod:`repro.xmlio.reference_tokenizer` as the differential-testing oracle.
+Do not optimize this module.  Its value is being obviously correct and
+independent of the production implementation.
 """
 
 from __future__ import annotations
 
-import re
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from ..events.model import (Event, cdata, end_element, end_stream,
                             start_element, start_stream)
-
-
-class XMLSyntaxError(ValueError):
-    """Raised on malformed XML input."""
-
-    def __init__(self, message: str, offset: int) -> None:
-        super().__init__("{} (at byte offset {})".format(message, offset))
-        self.offset = offset
-
-
-_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
-
-# Fast-path tag patterns.  A start tag without attributes and an end tag
-# are by far the most common constructs (XMark/DBLP markup is attribute
-# light), and both can be recognized with a single anchored match instead
-# of find + slice + character loop.  The patterns are deliberately strict:
-# anything they reject (attributes, exotic whitespace, malformed tags,
-# constructs truncated at a chunk boundary) falls through to the general
-# scanner, which reproduces the original character-level semantics and
-# error messages exactly.
-_STAG_RE = re.compile(r"<([^\s<>/!?=][^\s<>/=]*)\s*(/?)>")
-_ETAG_RE = re.compile(r"</([^\s<>/=]+)\s*>")
-# Attribute scanning within a tag body: name up to the first '=' (the
-# non-greedy quantifier reproduces the reference scanner's find('=')
-# semantics), then a quoted value.
-_TAG_NAME_RE = re.compile(r"\S+")
-_ATTR_RE = re.compile(r"\s*([^=]+?)=\s*(?:\"([^\"]*)\"|'([^']*)')")
+from .tokenizer import _ENTITIES, XMLSyntaxError
 
 # Parser modes.
 _TEXT = 0
@@ -74,19 +29,11 @@ _PI = 4
 _DOCTYPE = 5
 
 
-class XMLTokenizer:
-    """Incremental XML-to-event tokenizer.
+class ReferenceTokenizer:
+    """Incremental XML-to-event tokenizer (character-level reference).
 
-    Args:
-        stream_id: the stream number stamped on emitted events.
-        emit_oids: when True, sE/eE/cD events carry a document-order node
-            identity (``oid``) as required by backward axes (Section VI-E).
-        keep_whitespace: when False (default), character data that is pure
-            whitespace between elements is dropped, like the paper's
-            tokenizer which reports 12.7M events for 224MB of XMark.
-        attribute_handler: optional callback ``(tag, name, value) -> None``
-            invoked for each attribute (the event model has no attribute
-            events; the XMark generator does not rely on attributes).
+    Same public contract as :class:`~repro.xmlio.tokenizer.XMLTokenizer`;
+    see that class for the argument documentation.
     """
 
     def __init__(self, stream_id: int = 0, emit_oids: bool = False,
@@ -207,35 +154,6 @@ class XMLTokenizer:
 
         Returns the new position, or None when more input is needed.
         """
-        # Fast paths: a plain (attribute-free) start tag or an end tag is
-        # recognized and emitted with one anchored regex match.  A failed
-        # match — attributes, truncation at a chunk boundary, malformed
-        # input — falls through to the general classifier below, which is
-        # authoritative for semantics and error reporting.
-        m = _STAG_RE.match(buf, pos)
-        if m is not None:
-            if self._text_parts:
-                self._flush_text(out)
-            tag = m.group(1)
-            if self.emit_oids:
-                oid = self._next_oid
-                self._next_oid += 1
-            else:
-                oid = None
-            out.append(start_element(self.stream_id, tag, oid=oid))
-            if m.group(2):  # self-closing
-                out.append(end_element(self.stream_id, tag, oid=oid))
-            else:
-                self._stack.append((tag, oid))
-            self._mode = _TEXT
-            return m.end()
-        m = _ETAG_RE.match(buf, pos)
-        if m is not None:
-            if self._text_parts:
-                self._flush_text(out)
-            self._end_tag(m.group(1), out)
-            self._mode = _TEXT
-            return m.end()
         n = len(buf)
         if pos + 1 >= n:
             return None
@@ -309,16 +227,10 @@ class XMLTokenizer:
         self._text_parts = []
         # CDATA-section segments are literal; only plain character data
         # gets entity decoding (runs are joined first so an entity split
-        # across feed() chunks still decodes).  Single-segment flushes —
-        # the overwhelmingly common case when whole constructs arrive in
-        # one chunk — skip the merge machinery.
-        if len(parts) == 1:
-            is_cdata, seg = parts[0]
-            text = seg if is_cdata else _decode_entities(seg, self._offset)
-        else:
-            text = "".join(
-                seg if is_cdata else _decode_entities(seg, self._offset)
-                for is_cdata, seg in _merge_runs(parts))
+        # across feed() chunks still decodes).
+        text = "".join(
+            seg if is_cdata else _decode_entities(seg, self._offset)
+            for is_cdata, seg in _merge_runs(parts))
         if not self._stack:
             if text.strip():
                 raise XMLSyntaxError(
@@ -352,31 +264,12 @@ def _split_tag(raw: str, offset: int) -> Tuple[str, List[Tuple[str, str]]]:
     raw = raw.strip()
     if not raw:
         return "", []
-    m = _TAG_NAME_RE.match(raw)
-    tag = m.group()
-    i = m.end()
+    i = 0
     n = len(raw)
+    while i < n and not raw[i].isspace():
+        i += 1
+    tag = raw[:i]
     attrs: List[Tuple[str, str]] = []
-    while i < n:
-        am = _ATTR_RE.match(raw, i)
-        if am is None:
-            if raw[i:].isspace():
-                break
-            # Malformed: re-parse character by character for the exact
-            # diagnostic the reference scanner produces.
-            _split_attrs_slow(raw, i, tag, attrs, offset)
-            break
-        name, dq, sq = am.groups()
-        attrs.append((name.strip(),
-                      _decode_entities(dq if dq is not None else sq, offset)))
-        i = am.end()
-    return tag, attrs
-
-
-def _split_attrs_slow(raw: str, i: int, tag: str,
-                      attrs: List[Tuple[str, str]], offset: int) -> None:
-    """Character-level attribute parse (error cases and oddities only)."""
-    n = len(raw)
     while i < n:
         while i < n and raw[i].isspace():
             i += 1
@@ -400,6 +293,7 @@ def _split_attrs_slow(raw: str, i: int, tag: str,
                 "unterminated attribute value in <{}>".format(tag), offset)
         attrs.append((name, _decode_entities(raw[j + 1:end], offset)))
         i = end + 1
+    return tag, attrs
 
 
 def _decode_entities(text: str, offset: int) -> str:
@@ -431,20 +325,21 @@ def _decode_entities(text: str, offset: int) -> str:
     return "".join(out)
 
 
-def tokenize(text: str, stream_id: int = 0, emit_oids: bool = False,
-             keep_whitespace: bool = False) -> List[Event]:
-    """Tokenize a complete XML document into a list of events."""
-    tok = XMLTokenizer(stream_id=stream_id, emit_oids=emit_oids,
-                       keep_whitespace=keep_whitespace)
+def reference_tokenize(text: str, stream_id: int = 0,
+                       emit_oids: bool = False,
+                       keep_whitespace: bool = False) -> List[Event]:
+    """Tokenize a complete document with the reference scanner."""
+    tok = ReferenceTokenizer(stream_id=stream_id, emit_oids=emit_oids,
+                             keep_whitespace=keep_whitespace)
     return list(tok.tokenize(text))
 
 
-def iter_tokenize(chunks: Iterable[str], stream_id: int = 0,
-                  emit_oids: bool = False,
-                  keep_whitespace: bool = False) -> Iterator[Event]:
-    """Tokenize XML arriving in chunks, yielding events incrementally."""
-    tok = XMLTokenizer(stream_id=stream_id, emit_oids=emit_oids,
-                       keep_whitespace=keep_whitespace)
+def iter_reference_tokenize(chunks: Iterable[str], stream_id: int = 0,
+                            emit_oids: bool = False,
+                            keep_whitespace: bool = False) -> Iterator[Event]:
+    """Tokenize chunked XML with the reference scanner."""
+    tok = ReferenceTokenizer(stream_id=stream_id, emit_oids=emit_oids,
+                             keep_whitespace=keep_whitespace)
     for chunk in chunks:
         yield from tok.feed(chunk)
     yield from tok.close()

@@ -31,6 +31,7 @@ from ..core.transformer import Context, StateTransformer
 from ..operators import (AncestorJoin, ChildStep, CompareLiteral, Concat,
                          ContainsLiteral, CountItems, DescendantStep,
                          ExistsFlag, ForTuples, InlinePipeline, LiteralText,
+                         make_condition,
                          MinMaxAggregate, NumericAggregate, Predicate,
                          SCOPE_TUPLE, StreamConstruct, StringValue, Tee,
                          TextStep, TupleConstruct, TupleStrip)
@@ -179,7 +180,7 @@ class Compiler:
                     cond.op)
         return [self._compile_condition(cond)], "and"
 
-    def _compile_condition(self, cond: ast.Expr) -> InlinePipeline:
+    def _compile_condition(self, cond: ast.Expr):
         """Build the inert inline pipeline evaluating a condition.
 
         The condition is a relative path, optionally wrapped in a
@@ -208,7 +209,7 @@ class Compiler:
             path_out = self._compile_condition_path(cond, c_in, stages)
             c_out = self.fresh()
             stages.append(ExistsFlag(self.ctx, path_out, c_out))
-        return InlinePipeline(stages, c_in, c_out)
+        return make_condition(stages, c_in, c_out)
 
     def _compile_condition_path(self, expr: ast.Expr, input_id: int,
                                 stages: List[StateTransformer]) -> int:

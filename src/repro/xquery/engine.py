@@ -44,11 +44,13 @@ class QueryRun:
                  on_change: Optional[Callable[[Event, Display],
                                               None]] = None,
                  track_snapshots: bool = False,
-                 ignore_updates: bool = False) -> None:
+                 ignore_updates: bool = False,
+                 always_active: bool = False) -> None:
         self.plan = plan
         self.display = Display(plan.result_id, on_change=on_change,
                                track_snapshots=track_snapshots)
-        self.pipeline = Pipeline(plan.ctx, plan.stages, self.display)
+        self.pipeline = Pipeline(plan.ctx, plan.stages, self.display,
+                                 always_active=always_active)
         from ..events.model import UpdateStripper
         self._stripper = UpdateStripper() if ignore_updates else None
 
@@ -60,8 +62,13 @@ class QueryRun:
         self.pipeline.feed(event)
 
     def feed_all(self, events: Iterable[Event]) -> None:
-        for event in events:
-            self.feed(event)
+        """Feed a whole batch through the flattened pipeline driver."""
+        if self._stripper is not None:
+            stripper_feed = self._stripper.feed
+            self.pipeline.feed_batch(
+                e for event in events for e in stripper_feed(event))
+            return
+        self.pipeline.feed_batch(events)
 
     def finish(self) -> "QueryRun":
         self.pipeline.finish()

@@ -8,6 +8,9 @@ These pin the reproduction's load-bearing properties:
   arbitrary documents and a family of generated queries;
 * eager update application equals the continuous display for random
   update streams;
+* the batched pipeline driver equals the recursive per-event driver, and
+  the dormant (update-free fast path) wrapper equals the always-active
+  wrapper, on both the paper queries and random update streams;
 * inert transformers restore their state over well-formed sequences;
 * the sorted display is sorted after every single event.
 """
@@ -213,6 +216,128 @@ class TestUpdateStreams:
         plain.feed_all(strip_updates(events))
         plain.finish()
         assert opted.text() == plain.text()
+
+
+def _collect_output(plan, events, batched, always_active):
+    """Run events through a compiled plan's stages; return output keys."""
+    from repro.core.pipeline import Collector, Pipeline
+    collector = Collector()
+    pipe = Pipeline(plan.ctx, plan.stages, collector,
+                    always_active=always_active)
+    if batched:
+        pipe.feed_batch(events)
+    else:
+        for e in events:
+            pipe.feed(e)
+    pipe.finish()
+    return [e.key() for e in collector.events], pipe.total_calls()
+
+
+class TestPipelineEquivalence:
+    """Differential: batched == per-event; dormant fast path == active.
+
+    The reference configuration is the recursive per-event driver with
+    ``always_active=True`` (no fast path, no routing); every optimized
+    configuration must produce the identical output event stream.  In
+    always-active mode the batched driver must also report identical
+    transformer-call counts — routing is disabled there precisely so the
+    accounting matches the paper's "events" column.
+    """
+
+    MODES = ((True, True), (False, False), (True, False))
+
+    def test_paper_queries_all_modes_identical(self):
+        from repro.bench.harness import (PAPER_QUERIES, QUERY_DATASET,
+                                         Workloads)
+        w = Workloads(xmark_scale=0.02, dblp_scale=0.02)
+        for name, query in PAPER_QUERIES.items():
+            plan = XFlux(query).compile()
+            events = w.events(QUERY_DATASET[name], oids=plan.needs_oids)
+            ref, ref_calls = _collect_output(
+                plan, events, batched=False, always_active=True)
+            assert ref, name  # sanity: the reference run produced output
+            for batched, always_active in self.MODES:
+                out, calls = _collect_output(
+                    XFlux(query).compile(), events, batched=batched,
+                    always_active=always_active)
+                assert out == ref, (name, batched, always_active)
+                if always_active:
+                    assert calls == ref_calls, name
+
+    @given(TestUpdateStreams.update_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_update_streams_all_modes_identical(self, src):
+        events = loads(src)
+        query = 'stream()//item[v="hit"]'
+        plan = XFlux(query, mutable_source=True).compile()
+        ref, ref_calls = _collect_output(
+            plan, events, batched=False, always_active=True)
+        for batched, always_active in self.MODES:
+            out, calls = _collect_output(
+                XFlux(query, mutable_source=True).compile(), events,
+                batched=batched, always_active=always_active)
+            assert out == ref, (batched, always_active)
+            if always_active:
+                assert calls == ref_calls
+
+    @st.composite
+    @staticmethod
+    def dormant_prefix_streams(draw):
+        """An update-free prefix followed by updates mid-stream.
+
+        Every wrapper starts dormant, processes real query work in the
+        fast path, and is forced through the dormant -> active transition
+        by the first ``sM`` — the transition the fast path must make
+        losslessly.
+        """
+        parts = ["sS(0)", 'sE(0,"r")']
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            value = draw(st.sampled_from(WORDS))
+            parts.append('sE(0,"item") sE(0,"v") cD(0,"{v}") eE(0,"v") '
+                         'eE(0,"item")'.format(v=value))
+        region = 1
+        regions = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            value = draw(st.sampled_from(WORDS))
+            parts.append('sE(0,"item")')
+            parts.append("sM(0,{})".format(region))
+            parts.append('sE({r},"v") cD({r},"{v}") eE({r},"v")'.format(
+                r=region, v=value))
+            parts.append("eM(0,{})".format(region))
+            parts.append('eE(0,"item")')
+            regions.append(region)
+            region += 1
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            idx = draw(st.integers(min_value=0, max_value=len(regions) - 1))
+            choice = draw(st.sampled_from(["replace", "hide", "show"]))
+            if choice == "replace":
+                new_region = region
+                region += 1
+                parts.append(
+                    'sR({t},{n}) sE({n},"v") cD({n},"{v}") eE({n},"v") '
+                    'eR({t},{n})'.format(t=regions[idx], n=new_region,
+                                         v=draw(st.sampled_from(WORDS))))
+                regions[idx] = new_region
+            elif choice == "hide":
+                parts.append("hide({})".format(regions[idx]))
+            else:
+                parts.append("show({})".format(regions[idx]))
+        parts.append('eE(0,"r") eS(0)')
+        return " ".join(parts)
+
+    @given(dormant_prefix_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_dormant_to_active_transition_lossless(self, src):
+        events = loads(src)
+        query = 'stream()//item[v="hit"]'
+        plan = XFlux(query, mutable_source=True).compile()
+        ref, _ = _collect_output(
+            plan, events, batched=False, always_active=True)
+        for batched, always_active in self.MODES:
+            out, _ = _collect_output(
+                XFlux(query, mutable_source=True).compile(), events,
+                batched=batched, always_active=always_active)
+            assert out == ref, (batched, always_active)
 
 
 class TestOperatorInvariants:

@@ -1,0 +1,125 @@
+"""Chunk-boundary behaviour of the incremental tokenizer.
+
+The regex-scanning tokenizer must produce the same events no matter where
+``feed`` chunk boundaries fall — including boundaries inside tags,
+comments, CDATA sections, entity references and attribute values.  These
+tests parametrize over *every* split point of a small document covering
+all those constructs, and additionally check the production scanner
+differentially against the character-level reference scanner
+(:mod:`repro.xmlio.reference_tokenizer`), which is kept verbatim as the
+executable specification.
+"""
+
+import pytest
+
+from repro.xmlio import XMLSyntaxError, XMLTokenizer, iter_tokenize, \
+    tokenize
+from repro.xmlio.reference_tokenizer import (ReferenceTokenizer,
+                                             iter_reference_tokenize,
+                                             reference_tokenize)
+
+# One document exercising every construct whose scanning spans multiple
+# characters: declarations, DOCTYPE, attributes (both quote styles, with
+# an entity), comments (with embedded markup), CDATA (with metacharacters),
+# predefined/numeric entities, self-closing tags, and nesting.
+DOC = ('<?xml version="1.0"?><!DOCTYPE root>'
+       '<root a="1" b = \'two &amp; three\'>'
+       'pre<!-- comment -- ><x/> --><child>text &lt;&#65;&#x42;&gt;</child>'
+       '<![CDATA[raw <&> stuff]]>mid<empty/>'
+       '<deep><d2>x &quot;q&apos;</d2></deep>tail</root>')
+
+SPLITS = list(range(len(DOC) + 1))
+
+
+@pytest.fixture(scope="module")
+def oneshot():
+    return tokenize(DOC)
+
+
+class TestEverySplitPoint:
+    @pytest.mark.parametrize("i", SPLITS)
+    def test_two_chunks_equal_oneshot(self, i, oneshot):
+        assert list(iter_tokenize([DOC[:i], DOC[i:]])) == oneshot
+
+    @pytest.mark.parametrize("i", SPLITS)
+    def test_two_chunks_match_reference(self, i):
+        fast = list(iter_tokenize([DOC[:i], DOC[i:]]))
+        ref = list(iter_reference_tokenize([DOC[:i], DOC[i:]]))
+        assert fast == ref
+
+    def test_byte_at_a_time(self, oneshot):
+        assert list(iter_tokenize(list(DOC))) == oneshot
+
+    def test_three_chunks_sliding(self, oneshot):
+        third = len(DOC) // 3
+        for i in range(0, len(DOC) - third, 7):
+            chunks = [DOC[:i], DOC[i:i + third], DOC[i + third:]]
+            assert list(iter_tokenize(chunks)) == oneshot
+
+
+class TestReferenceAgreement:
+    def test_oneshot_matches_reference(self):
+        assert tokenize(DOC) == reference_tokenize(DOC)
+
+    def test_oids_match_reference(self):
+        assert tokenize(DOC, emit_oids=True) == \
+            reference_tokenize(DOC, emit_oids=True)
+
+    def test_keep_whitespace_matches_reference(self):
+        doc = "<a> <b/> \n <c>x</c> </a>"
+        assert tokenize(doc, keep_whitespace=True) == \
+            reference_tokenize(doc, keep_whitespace=True)
+
+    def test_attributes_match_reference(self):
+        seen_fast, seen_ref = [], []
+        list(XMLTokenizer(
+            attribute_handler=lambda t, n, v:
+            seen_fast.append((t, n, v))).tokenize(DOC))
+        list(ReferenceTokenizer(
+            attribute_handler=lambda t, n, v:
+            seen_ref.append((t, n, v))).tokenize(DOC))
+        assert seen_fast == seen_ref
+        assert ("root", "b", "two & three") in seen_fast
+
+    @pytest.mark.parametrize("bad", [
+        "<a></b>", "<a><b></b>", "</a>", "oops<a/>", "<a>text",
+        "<a x=1/>", "<a x></a>", "<a x='1></a>", "<a>&nope;</a>",
+        "<a>&unterminated</a>", "<>x</>",
+    ])
+    def test_errors_match_reference(self, bad):
+        with pytest.raises(XMLSyntaxError) as fast:
+            tokenize(bad)
+        with pytest.raises(XMLSyntaxError) as ref:
+            reference_tokenize(bad)
+        assert str(fast.value) == str(ref.value)
+
+
+class TestConstructsSplitMidway:
+    """Targeted splits inside each multi-character construct."""
+
+    def _mid(self, needle):
+        start = DOC.index(needle)
+        return start + len(needle) // 2
+
+    @pytest.mark.parametrize("needle", [
+        "<!-- comment", "<![CDATA[", "]]>", "&amp;", "&#65;", "&#x42;",
+        "<child>", "</child>", "<empty/>", 'b = \'two',
+        "<?xml", "<!DOCTYPE", "-->",
+    ])
+    def test_split_inside_construct(self, needle, oneshot):
+        i = self._mid(needle)
+        assert list(iter_tokenize([DOC[:i], DOC[i:]])) == oneshot
+
+    def test_entity_split_across_three_chunks(self):
+        doc = "<a>x&amp;y</a>"
+        amp = doc.index("&")
+        chunks = [doc[:amp + 1], doc[amp + 1:amp + 3], doc[amp + 3:]]
+        evs = list(iter_tokenize(chunks))
+        assert [e.text for e in evs if e.text is not None] == ["x&y"]
+
+    def test_cdata_split_across_three_chunks(self):
+        doc = "<a><![CDATA[one & two]]></a>"
+        i = doc.index("one") + 1
+        j = doc.index("]]>") + 1
+        evs = list(iter_tokenize([doc[:i], doc[i:j], doc[j:]]))
+        assert [e.text for e in evs if e.text is not None] == ["one & two"]
