@@ -14,22 +14,24 @@ Quick start::
     print(result.text())
 """
 
-from .core import (Collector, Context, Display, MutabilityRegistry,
-                   Pipeline, RegionTree, StateTransformer, UpdateWrapper,
-                   apply_updates)
+from .core import (Collector, Context, Display, EventMultiplexer,
+                   MutabilityRegistry, Pipeline, RegionTree,
+                   StateTransformer, UpdateWrapper, apply_updates)
 from .events import Event, IdGenerator, Kind
 from .xmlio import XMLTokenizer, parse as parse_xml, tokenize, write_events
-from .xquery import CompileError, Plan, QueryRun, XFlux, XQuerySyntaxError
+from .xquery import (CompileError, MultiQueryRun, Plan, QueryRun, XFlux,
+                     XQuerySyntaxError)
 from .xquery import parse as parse_query
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "XFlux", "QueryRun", "Plan", "parse_query",
+    "XFlux", "QueryRun", "MultiQueryRun", "Plan", "parse_query",
     "XQuerySyntaxError", "CompileError",
     "Event", "Kind", "IdGenerator",
     "tokenize", "XMLTokenizer", "parse_xml", "write_events",
     "Pipeline", "Display", "Context", "StateTransformer", "UpdateWrapper",
     "MutabilityRegistry", "RegionTree", "apply_updates", "Collector",
+    "EventMultiplexer",
     "__version__",
 ]

@@ -1,0 +1,154 @@
+"""Multi-query executor benchmark (``BENCH_multiquery.json``).
+
+Measures the same workload three ways, end-to-end from document text to
+final answers (tokenization included — that is the point):
+
+* **sequential** — one independent ``XFlux(...).run_xml(...)`` per
+  query, the pre-multiplexer serving model: N queries, N tokenizer
+  passes;
+* **multiplex** — one :class:`~repro.xquery.engine.MultiQueryRun` per
+  dataset: a single tokenizer pass fanned out to all pipelines;
+* **sharded** — :class:`~repro.parallel.ShardedMultiQueryRun` with the
+  requested worker count, shard balancing fed by the sequential
+  per-query times measured in the same run.
+
+Every mode's per-query answers are compared byte-for-byte and the
+verdict is recorded (``identical_outputs``) — a speedup that changes an
+answer must fail loudly, not land in a JSON file.  The host CPU count is
+recorded because it decides what sharding *can* deliver: with W usable
+cores the sharded mode adds codec + process overhead to a critical path
+of total_work / min(W, shards), so on a single-core host it cannot beat
+the single-process multiplexer (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..parallel import ShardedMultiQueryRun, available_workers
+from ..xquery.engine import MultiQueryRun, XFlux
+from .harness import PAPER_QUERIES, QUERY_DATASET, Workloads
+
+
+def _best(repeats: int, fn):
+    """Best-of-``repeats`` wall time; returns (secs, last_result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        secs = time.perf_counter() - start
+        if best is None or secs < best:
+            best = secs
+    return best, result
+
+
+def _dataset_groups(names: Sequence[str]) -> List[tuple]:
+    """Group query names by the dataset they read, stable order."""
+    groups: Dict[str, List[str]] = {}
+    for name in names:
+        groups.setdefault(QUERY_DATASET[name], []).append(name)
+    return sorted(groups.items())
+
+
+def bench_multiquery(workloads: Workloads, repeats: int = 3,
+                     workers: Optional[int] = None,
+                     queries: Optional[Sequence[str]] = None,
+                     batch_events: int = 4096) -> Dict:
+    """Run the three executor modes over the paper's query set."""
+    names = list(queries) if queries is not None else list(PAPER_QUERIES)
+    texts = {name: PAPER_QUERIES[name] for name in names}
+    workers = workers if workers is not None else available_workers()
+    groups = _dataset_groups(names)
+
+    # -- sequential: N independent engines, N tokenizer passes ------------
+    seq_rows = []
+    seq_outputs: Dict[str, str] = {}
+    seq_total = 0.0
+    for name in names:
+        doc = workloads.text(QUERY_DATASET[name])
+        query = texts[name]
+        secs, run = _best(repeats, lambda q=query, d=doc:
+                          XFlux(q).run_xml(d))
+        seq_outputs[name] = run.text()
+        seq_total += secs
+        seq_rows.append({"query": name, "dataset": QUERY_DATASET[name],
+                         "secs": round(secs, 6)})
+    weights = {name: row["secs"] for name, row in zip(names, seq_rows)}
+
+    # -- multiplex: one pass per dataset, all pipelines at once -----------
+    def run_multiplex():
+        out = {}
+        for dataset, group in groups:
+            mq = MultiQueryRun([texts[n] for n in group])
+            mq.run_xml(workloads.text(dataset))
+            for n, answer in zip(group, mq.texts()):
+                out[n] = answer
+        return out
+
+    mux_secs, mux_outputs = _best(repeats, run_multiplex)
+
+    # -- sharded: partition each dataset's queries across workers ---------
+    shard_meta: Dict[str, object] = {}
+
+    def run_sharded():
+        out = {}
+        bytes_shipped = frames = 0
+        shards = []
+        mode = None
+        for dataset, group in groups:
+            smq = ShardedMultiQueryRun(
+                [texts[n] for n in group], workers=workers,
+                weights=[weights[n] for n in group],
+                batch_events=batch_events)
+            smq.run_xml(workloads.text(dataset))
+            stats = smq.stats()
+            bytes_shipped += stats["bytes_shipped"]
+            frames += stats["frames"]
+            shards.append({dataset: [[group[i] for i in shard]
+                                     for shard in stats["shards"]]})
+            mode = stats["mode"]
+            for n, answer in zip(group, smq.texts()):
+                out[n] = answer
+        shard_meta.update(bytes_shipped=bytes_shipped, frames=frames,
+                          shards=shards, mode=mode)
+        return out
+
+    sharded_secs, sharded_outputs = _best(repeats, run_sharded)
+
+    identical = all(mux_outputs[n] == seq_outputs[n]
+                    and sharded_outputs[n] == seq_outputs[n]
+                    for n in names)
+    if not identical:
+        diverging = [n for n in names
+                     if mux_outputs[n] != seq_outputs[n]
+                     or sharded_outputs[n] != seq_outputs[n]]
+        raise AssertionError(
+            "executor modes disagree on {}".format(diverging))
+
+    return {
+        "workload": {"queries": names,
+                     "datasets": [d for d, _ in groups]},
+        "sequential": {"secs": round(seq_total, 6),
+                       "per_query": seq_rows},
+        "multiplex": {
+            "secs": round(mux_secs, 6),
+            "speedup_vs_sequential": round(seq_total / mux_secs, 3)
+            if mux_secs else None,
+        },
+        "sharded": {
+            "secs": round(sharded_secs, 6),
+            "workers": workers,
+            "mode": shard_meta.get("mode"),
+            "shards": shard_meta.get("shards"),
+            "frames": shard_meta.get("frames"),
+            "bytes_shipped": shard_meta.get("bytes_shipped"),
+            "batch_events": batch_events,
+            "speedup_vs_sequential": round(seq_total / sharded_secs, 3)
+            if sharded_secs else None,
+            "speedup_vs_multiplex": round(mux_secs / sharded_secs, 3)
+            if sharded_secs else None,
+        },
+        "identical_outputs": identical,
+    }

@@ -33,6 +33,7 @@ from .harness import PAPER_QUERIES, QUERY_DATASET, Workloads
 
 QUERIES_JSON = "BENCH_queries.json"
 TOKENIZE_JSON = "BENCH_tokenize.json"
+MULTIQUERY_JSON = "BENCH_multiquery.json"
 
 
 def _meta(workloads: Workloads, repeats: int) -> Dict:
@@ -127,6 +128,34 @@ def bench_tokenize(workloads: Workloads, repeats: int = 3) -> Dict:
             if timings["secs"] else None,
         })
     return {"meta": _meta(workloads, repeats), "datasets": rows}
+
+
+def write_multiquery_file(out_dir: str = ".", scale: float = 0.1,
+                          repeats: int = 3, workers: Optional[int] = None,
+                          queries: Optional[Sequence[str]] = None,
+                          err=None) -> Dict[str, str]:
+    """Run the multi-query executor benchmark; returns the file path.
+
+    The record carries the usable CPU count — sharded-mode numbers are
+    meaningless without it (on one core the process pool can only add
+    overhead; see EXPERIMENTS.md).
+    """
+    from ..parallel import available_workers
+    from .multiquery import bench_multiquery
+    os.makedirs(out_dir or ".", exist_ok=True)
+    workloads = Workloads(xmark_scale=scale, dblp_scale=scale)
+    payload = bench_multiquery(workloads, repeats=repeats,
+                               workers=workers, queries=queries)
+    payload = dict(
+        meta=dict(_meta(workloads, repeats), cpus=available_workers()),
+        **payload)
+    path = "{}/{}".format(out_dir.rstrip("/"), MULTIQUERY_JSON)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    if err is not None:
+        print("wrote {}".format(path), file=err)
+    return {MULTIQUERY_JSON: path}
 
 
 def write_bench_files(out_dir: str = ".", scale: float = 0.1,

@@ -72,17 +72,31 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--queries",
                     help="comma-separated subset, e.g. Q1,Q2 (default: "
                          "all nine)")
+    ap.add_argument("--multiquery", action="store_true",
+                    help="benchmark the multi-query executor instead "
+                         "(sequential vs multiplexed vs sharded); writes "
+                         "BENCH_multiquery.json")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="process count for the sharded mode (default: "
+                         "usable CPUs)")
     return ap
 
 
 def bench_main(argv, out, err) -> int:
-    from .bench.record import write_bench_files
+    from .bench.record import write_bench_files, write_multiquery_file
     args = build_bench_arg_parser().parse_args(list(argv))
     queries = args.queries.split(",") if args.queries else None
     try:
-        paths = write_bench_files(out_dir=args.out_dir, scale=args.scale,
-                                  repeats=args.repeats, queries=queries,
-                                  err=err)
+        if args.multiquery:
+            paths = write_multiquery_file(
+                out_dir=args.out_dir, scale=args.scale,
+                repeats=args.repeats, workers=args.workers,
+                queries=queries, err=err)
+        else:
+            paths = write_bench_files(out_dir=args.out_dir,
+                                      scale=args.scale,
+                                      repeats=args.repeats,
+                                      queries=queries, err=err)
     except KeyError as exc:
         print("error: unknown query {} (expected Q1..Q9)".format(exc),
               file=err)

@@ -43,10 +43,12 @@ class Display:
         self.events_seen = 0
         self.peak_regions = 0
         self.peak_events = 0
+        self._text_cache: Optional[str] = None
 
     def process(self, e: Event) -> None:
         self.events_seen += 1
         self.tree.process(e)
+        self._text_cache = None
         if self.track_snapshots:
             text = self.text()
             if not self.snapshots or self.snapshots[-1] != text:
@@ -71,8 +73,16 @@ class Display:
         return self.tree.flatten()
 
     def text(self) -> str:
-        """The currently displayed answer as XML/text."""
-        return write_events(self.events())
+        """The currently displayed answer as XML/text.
+
+        Cached between events: continuous-mode consumers poll ``text()``
+        after every fed event, and most events do not reach the display —
+        only :meth:`process` invalidates, so idle polls cost a attribute
+        check instead of a full flatten + render.
+        """
+        if self._text_cache is None:
+            self._text_cache = write_events(self.events())
+        return self._text_cache
 
     def stats(self) -> dict:
         s = self.tree.stats()

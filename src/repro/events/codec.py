@@ -1,0 +1,206 @@
+"""Compact binary (de)serialization of event streams.
+
+The textual format in :mod:`repro.events.serialize` is the paper's
+notation — ideal for tests and worked examples, far too slow as an IPC
+wire format: every event costs a regex match and every string a
+character-level unescape.  This module is the machine format the
+:mod:`repro.parallel` sharding layer ships over pipes.
+
+Wire layout, little-endian throughout:
+
+* **Event**: one header byte — the :class:`~repro.events.model.Kind`
+  value in the low five bits, an OID-presence flag at ``0x20`` — followed
+  by the fields the kind implies, ``struct``-packed:
+
+  - ``id`` (``<i``) for every kind;
+  - ``sub`` (``<i``) for the eight update-bracket kinds;
+  - ``tag`` for sE/eE as ``<H`` byte length + UTF-8 bytes;
+  - ``text`` for cD as ``<I`` byte length + UTF-8 bytes;
+  - ``oid`` (``<i``) when the header flag is set.
+
+  UTF-8 carries any character verbatim, so the textual format's escaping
+  (and its bugs-by-construction) has no binary counterpart.
+
+* **Batch**: ``<I`` event count, then the packed events.
+
+* **Frame**: ``<I`` payload byte length, then the payload.  A zero
+  length is a valid frame (the sharding layer uses an empty payload as
+  its end-of-stream marker).  :func:`read_frame` distinguishes a clean
+  end of the stream (``None``) from truncation mid-frame
+  (:class:`CodecError`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Tuple
+
+from .model import (CD, EE, SE, UPDATE_ENDS, UPDATE_STARTS, Event, Kind)
+
+
+class CodecError(ValueError):
+    """Raised on malformed or truncated binary event data."""
+
+
+_OID_FLAG = 0x20
+_KIND_MASK = 0x1F
+
+_HDR_ID = struct.Struct("<Bi")        # header byte + id
+_HDR_ID_SUB = struct.Struct("<Bii")   # header byte + id + sub
+_TAG_LEN = struct.Struct("<H")
+_TEXT_LEN = struct.Struct("<I")
+_OID = struct.Struct("<i")
+_U32 = struct.Struct("<I")
+
+#: Kinds that carry a ``sub`` field on the wire.
+_SUB_KINDS = frozenset(int(k) for k in (UPDATE_STARTS | UPDATE_ENDS))
+_SE, _EE, _CD = int(SE), int(EE), int(CD)
+_VALID_KINDS = frozenset(int(k) for k in Kind)
+
+
+def encode_event(e: Event) -> bytes:
+    """Pack one event into its binary form."""
+    kind = int(e.kind)
+    hdr = kind | (_OID_FLAG if e.oid is not None else 0)
+    try:
+        if kind in _SUB_KINDS:
+            head = _HDR_ID_SUB.pack(hdr, e.id, e.sub)
+        elif kind == _SE or kind == _EE:
+            tag = e.tag.encode("utf-8")
+            head = _HDR_ID.pack(hdr, e.id) + _TAG_LEN.pack(len(tag)) + tag
+        elif kind == _CD:
+            text = e.text.encode("utf-8")
+            head = (_HDR_ID.pack(hdr, e.id)
+                    + _TEXT_LEN.pack(len(text)) + text)
+        else:
+            head = _HDR_ID.pack(hdr, e.id)
+    except (struct.error, AttributeError) as exc:
+        raise CodecError("cannot encode {!r}: {}".format(e, exc))
+    if e.oid is not None:
+        try:
+            return head + _OID.pack(e.oid)
+        except struct.error as exc:
+            raise CodecError("cannot encode oid of {!r}: {}".format(e, exc))
+    return head
+
+
+def decode_event(buf: bytes, pos: int = 0) -> Tuple[Event, int]:
+    """Unpack one event at ``pos``; returns ``(event, next_pos)``."""
+    try:
+        hdr = buf[pos]
+    except IndexError:
+        raise CodecError("truncated event at offset {}".format(pos))
+    kind_val = hdr & _KIND_MASK
+    if kind_val not in _VALID_KINDS:
+        raise CodecError(
+            "unknown event kind {} at offset {}".format(kind_val, pos))
+    kind = Kind(kind_val)
+    sub = tag = text = oid = None
+    try:
+        if kind_val in _SUB_KINDS:
+            _, id_, sub = _HDR_ID_SUB.unpack_from(buf, pos)
+            pos += _HDR_ID_SUB.size
+        else:
+            _, id_ = _HDR_ID.unpack_from(buf, pos)
+            pos += _HDR_ID.size
+            if kind_val == _SE or kind_val == _EE:
+                (n,) = _TAG_LEN.unpack_from(buf, pos)
+                pos += _TAG_LEN.size
+                end = pos + n
+                if end > len(buf):
+                    raise struct.error("tag bytes")
+                tag = buf[pos:end].decode("utf-8")
+                pos = end
+            elif kind_val == _CD:
+                (n,) = _TEXT_LEN.unpack_from(buf, pos)
+                pos += _TEXT_LEN.size
+                end = pos + n
+                if end > len(buf):
+                    raise struct.error("text bytes")
+                text = buf[pos:end].decode("utf-8")
+                pos = end
+        if hdr & _OID_FLAG:
+            (oid,) = _OID.unpack_from(buf, pos)
+            pos += _OID.size
+    except struct.error:
+        raise CodecError("truncated event at offset {}".format(pos))
+    except UnicodeDecodeError as exc:
+        raise CodecError("invalid UTF-8 in event: {}".format(exc))
+    return Event(kind, id_, sub=sub, tag=tag, text=text, oid=oid), pos
+
+
+def encode_batch(events: Iterable[Event]) -> bytes:
+    """Pack a sequence of events as a count-prefixed payload."""
+    parts = [encode_event(e) for e in events]
+    return _U32.pack(len(parts)) + b"".join(parts)
+
+
+def decode_batch(payload: bytes) -> List[Event]:
+    """Unpack a payload produced by :func:`encode_batch`."""
+    if len(payload) < _U32.size:
+        raise CodecError("truncated batch header")
+    (count,) = _U32.unpack_from(payload, 0)
+    pos = _U32.size
+    out: List[Event] = []
+    for _ in range(count):
+        e, pos = decode_event(payload, pos)
+        out.append(e)
+    if pos != len(payload):
+        raise CodecError(
+            "{} trailing bytes after {} events".format(
+                len(payload) - pos, count))
+    return out
+
+
+# -- framed pipe transport ---------------------------------------------------
+
+def encode_frame(events: Iterable[Event]) -> bytes:
+    """A complete length-prefixed frame holding one event batch."""
+    payload = encode_batch(events)
+    return _U32.pack(len(payload)) + payload
+
+
+def write_frame(stream: BinaryIO, payload: bytes) -> None:
+    """Write one length-prefixed frame (payload may be empty)."""
+    stream.write(_U32.pack(len(payload)))
+    stream.write(payload)
+
+
+def read_frame(stream: BinaryIO) -> Optional[bytes]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`CodecError` when the stream ends mid-frame.
+    """
+    header = _read_exact(stream, _U32.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _U32.unpack(header)
+    if length == 0:
+        return b""
+    payload = _read_exact(stream, length, allow_eof=False)
+    return payload
+
+
+def iter_frames(stream: BinaryIO) -> Iterator[bytes]:
+    """Yield frame payloads until clean EOF or an empty (sentinel) frame."""
+    while True:
+        payload = read_frame(stream)
+        if payload is None or payload == b"":
+            return
+        yield payload
+
+
+def _read_exact(stream: BinaryIO, n: int,
+                allow_eof: bool) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    got = 0
+    while got < n:
+        chunk = stream.read(n - got)
+        if not chunk:
+            if allow_eof and got == 0:
+                return None
+            raise CodecError(
+                "stream truncated: wanted {} bytes, got {}".format(n, got))
+        chunks.append(chunk)
+        got += len(chunk)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)

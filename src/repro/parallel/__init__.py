@@ -1,0 +1,11 @@
+"""Multi-core sharding of the multi-query executor.
+
+One process per shard of the standing-query set; the parent tokenizes
+the input once, encodes each event batch once with the binary codec
+(:mod:`repro.events.codec`) and broadcasts the frames to every worker
+over OS pipes.  See :class:`ShardedMultiQueryRun`.
+"""
+
+from .shard import ShardedMultiQueryRun, available_workers, shard_queries
+
+__all__ = ["ShardedMultiQueryRun", "shard_queries", "available_workers"]

@@ -1,0 +1,378 @@
+"""Process-pool sharding of the multi-query executor.
+
+The single-process :class:`~repro.xquery.engine.MultiQueryRun` removes
+the redundant tokenizer passes but still evaluates every pipeline on one
+core; per-query transformer work is untouched and dominates.  Sharding
+partitions the *query set* — not the stream — across worker processes:
+
+* the parent tokenizes (or deserializes) the input exactly once;
+* each event batch is encoded exactly once with the binary codec and
+  the same frame bytes are written to every worker's pipe (encoding
+  cost is O(stream), independent of the worker count);
+* each worker decodes the frames and drives an ordinary
+  ``MultiQueryRun`` over its shard, so per-query semantics, results and
+  accounting are identical to the single-process executor;
+* at end-of-stream the parent collects per-query texts and stats over a
+  result connection and reassembles them in submission order.
+
+Workers are forked (query texts and flags travel by memory inheritance,
+not pickling).  On platforms without ``fork`` the class degrades to an
+in-process executor that still round-trips every batch through the
+codec, so behaviour — including codec failures — is uniform everywhere.
+
+Shard assignment is greedy balanced-load: queries are placed
+heaviest-first onto the least-loaded shard, using caller-supplied cost
+weights when available (the bench harness feeds back measured
+single-process times) and uniform weights otherwise.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..events import codec
+from ..events.model import Event
+from ..xmlio.tokenizer import tokenize
+from ..xquery.engine import MultiQueryRun
+
+
+def available_workers() -> int:
+    """Usable CPU count (affinity-aware where the platform supports it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _fork_context():
+    try:
+        import multiprocessing
+        return multiprocessing.get_context("fork")
+    except (ImportError, ValueError):
+        return None
+
+
+def shard_queries(n_queries: int, workers: int,
+                  weights: Optional[Sequence[float]] = None
+                  ) -> List[List[int]]:
+    """Partition query indices into at most ``workers`` balanced shards.
+
+    Greedy longest-processing-time: heaviest query first, always onto
+    the least-loaded shard.  Within a shard the original submission
+    order is kept.  Empty shards are dropped.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1, got {}".format(workers))
+    w = list(weights) if weights is not None else [1.0] * n_queries
+    if len(w) != n_queries:
+        raise ValueError("got {} weights for {} queries".format(
+            len(w), n_queries))
+    shards: List[List[int]] = [[] for _ in range(min(workers, n_queries))]
+    loads = [0.0] * len(shards)
+    for i in sorted(range(n_queries), key=lambda i: -w[i]):
+        k = loads.index(min(loads))
+        loads[k] += w[i]
+        shards[k].append(i)
+    for shard in shards:
+        shard.sort()
+    return [s for s in shards if s]
+
+
+def _worker_main(rfd: int, result_conn, queries: List[str],
+                 engine_kwargs: Dict) -> None:
+    """Worker entry: decode frames from ``rfd``, run the shard, report."""
+    result = {"ok": False, "error": "worker exited before end-of-stream"}
+    try:
+        mq = MultiQueryRun(queries, **engine_kwargs)
+        with os.fdopen(rfd, "rb", buffering=1 << 16) as reader:
+            for payload in codec.iter_frames(reader):
+                mq.feed_all(codec.decode_batch(payload))
+        mq.finish()
+        result = {"ok": True, "texts": mq.texts(), "stats": mq.stats()}
+    except BaseException as exc:  # report, don't hang the parent
+        result = {"ok": False, "error": "{}: {}".format(
+            type(exc).__name__, exc)}
+    try:
+        result_conn.send(result)
+    finally:
+        result_conn.close()
+
+
+class _ForkShard:
+    """Parent-side handle of one forked worker."""
+
+    def __init__(self, ctx, indices: List[int], queries: List[str],
+                 engine_kwargs: Dict) -> None:
+        self.indices = indices
+        rfd, wfd = os.pipe()
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(rfd, send_conn, queries, engine_kwargs), daemon=True)
+        self.process.start()
+        os.close(rfd)
+        send_conn.close()
+        self.writer = os.fdopen(wfd, "wb", buffering=1 << 16)
+        self.conn = recv_conn
+        self.alive = True
+        self.bytes_shipped = 0
+
+    def ship(self, frame: bytes) -> None:
+        if not self.alive:
+            return
+        try:
+            self.writer.write(frame)
+            self.bytes_shipped += len(frame)
+        except BrokenPipeError:
+            # The worker died; its error surfaces in collect().
+            self.alive = False
+
+    def collect(self, timeout: Optional[float]) -> Dict:
+        try:
+            if self.alive:
+                codec.write_frame(self.writer, b"")  # end-of-stream
+                self.writer.flush()
+        except BrokenPipeError:
+            pass
+        finally:
+            self.writer.close()
+        if self.conn.poll(timeout):
+            result = self.conn.recv()
+        else:
+            result = {"ok": False,
+                      "error": "worker produced no result within {}s"
+                      .format(timeout)}
+        self.conn.close()
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join()
+        return result
+
+    def abort(self) -> None:
+        try:
+            self.writer.close()
+        except OSError:
+            pass
+        self.conn.close()
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join()
+
+
+class _InlineShard:
+    """Fallback shard on platforms without fork: same codec round trip,
+    same result shape, executed in the parent process."""
+
+    def __init__(self, indices: List[int], queries: List[str],
+                 engine_kwargs: Dict) -> None:
+        self.indices = indices
+        self.mq = MultiQueryRun(queries, **engine_kwargs)
+        self.bytes_shipped = 0
+        self._failed: Optional[str] = None
+
+    def ship(self, frame: bytes) -> None:
+        if self._failed is not None:
+            return
+        self.bytes_shipped += len(frame)
+        try:
+            payload = codec.read_frame(io.BytesIO(frame))
+            self.mq.feed_all(codec.decode_batch(payload))
+        except Exception as exc:
+            self._failed = "{}: {}".format(type(exc).__name__, exc)
+
+    def collect(self, timeout: Optional[float]) -> Dict:
+        if self._failed is not None:
+            return {"ok": False, "error": self._failed}
+        try:
+            self.mq.finish()
+        except Exception as exc:
+            return {"ok": False, "error": "{}: {}".format(
+                type(exc).__name__, exc)}
+        return {"ok": True, "texts": self.mq.texts(),
+                "stats": self.mq.stats()}
+
+    def abort(self) -> None:
+        pass
+
+
+class ShardedMultiQueryRun:
+    """Evaluate N standing queries sharded across worker processes.
+
+    Mirrors the :class:`~repro.xquery.engine.MultiQueryRun` interface
+    (``feed`` / ``feed_all`` / ``finish`` / ``run_xml`` / ``texts`` /
+    ``stats``); results are in submission order regardless of shard
+    placement.
+
+    Args:
+        queries: query *texts* (workers compile their own plans; plans
+            and engines are not shippable).
+        workers: shard count; defaults to :func:`available_workers`.
+        weights: optional per-query cost estimates for shard balancing.
+        batch_events: events buffered per broadcast frame.
+        mutable_source / ignore_updates / validate / always_active:
+            forwarded to each worker's ``MultiQueryRun``.
+    """
+
+    def __init__(self, queries: Sequence[str],
+                 workers: Optional[int] = None,
+                 weights: Optional[Sequence[float]] = None,
+                 batch_events: int = 4096,
+                 mutable_source: bool = False,
+                 ignore_updates: bool = False,
+                 validate: bool = False,
+                 always_active: bool = False) -> None:
+        self.query_texts: List[str] = []
+        for q in queries:
+            if not isinstance(q, str):
+                raise TypeError(
+                    "sharded execution needs query texts, got {!r}"
+                    .format(type(q).__name__))
+            self.query_texts.append(q)
+        if batch_events < 1:
+            raise ValueError("batch_events must be >= 1")
+        self.workers = workers if workers is not None else \
+            available_workers()
+        engine_kwargs = dict(mutable_source=mutable_source,
+                             ignore_updates=ignore_updates,
+                             validate=validate,
+                             always_active=always_active)
+        # Compile in the parent first: fail fast on a bad query before
+        # any process is forked, and learn the stream metadata the
+        # tokenizer needs (oids, source stream number).
+        probe = MultiQueryRun(self.query_texts, **engine_kwargs)
+        self.needs_oids = probe.needs_oids
+        self.source_id = probe.source_id
+        self.shards_indices = shard_queries(len(self.query_texts),
+                                            self.workers, weights)
+        ctx = _fork_context()
+        self.mode = "fork" if ctx is not None else "inline"
+        self._shards = []
+        for indices in self.shards_indices:
+            shard_queries_ = [self.query_texts[i] for i in indices]
+            if ctx is not None:
+                self._shards.append(_ForkShard(ctx, indices,
+                                               shard_queries_,
+                                               engine_kwargs))
+            else:
+                self._shards.append(_InlineShard(indices, shard_queries_,
+                                                 engine_kwargs))
+        self._batch_events = batch_events
+        self._buffer: List[Event] = []
+        self.events_in = 0
+        self.frames = 0
+        self._results: Optional[List[Dict]] = None
+        self._texts: Optional[List[str]] = None
+
+    # -- feeding ---------------------------------------------------------------
+
+    def feed(self, event: Event) -> None:
+        self._buffer.append(event)
+        if len(self._buffer) >= self._batch_events:
+            self._flush()
+
+    def feed_all(self, events: Iterable[Event]) -> None:
+        buffer = self._buffer
+        limit = self._batch_events
+        for e in events:
+            buffer.append(e)
+            if len(buffer) >= limit:
+                self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        # Encode once; every worker receives the identical frame bytes.
+        frame = codec.encode_frame(self._buffer)
+        self.events_in += len(self._buffer)
+        self.frames += 1
+        self._buffer.clear()
+        for shard in self._shards:
+            shard.ship(frame)
+
+    def finish(self, timeout: Optional[float] = 120.0
+               ) -> "ShardedMultiQueryRun":
+        """Flush, signal end-of-stream, and gather worker results."""
+        if self._results is not None:
+            return self
+        self._flush()
+        self._results = [shard.collect(timeout) for shard in self._shards]
+        failures = [r["error"] for r in self._results if not r["ok"]]
+        if failures:
+            raise RuntimeError(
+                "{} of {} shard workers failed: {}".format(
+                    len(failures), len(self._shards), "; ".join(failures)))
+        texts: List[Optional[str]] = [None] * len(self.query_texts)
+        for shard, result in zip(self._shards, self._results):
+            for local_i, orig_i in enumerate(shard.indices):
+                texts[orig_i] = result["texts"][local_i]
+        self._texts = texts  # type: ignore[assignment]
+        return self
+
+    def run(self, events: Iterable[Event]) -> "ShardedMultiQueryRun":
+        self.feed_all(events)
+        return self.finish()
+
+    def run_xml(self, text: str) -> "ShardedMultiQueryRun":
+        """Evaluate over an XML document: one parent-side tokenizer pass."""
+        events = tokenize(text, stream_id=self.source_id,
+                          emit_oids=self.needs_oids)
+        return self.run(events)
+
+    def abort(self) -> None:
+        """Tear down workers without collecting results."""
+        for shard in self._shards:
+            shard.abort()
+        if self._results is None:
+            self._results = []
+
+    def __enter__(self) -> "ShardedMultiQueryRun":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif self._results is None:
+            self.finish()
+
+    # -- results ---------------------------------------------------------------
+
+    def texts(self) -> List[str]:
+        """Final answers in submission order (available after finish)."""
+        if self._texts is None:
+            raise RuntimeError("results are available after finish()")
+        return list(self._texts)
+
+    def text(self, i: int) -> str:
+        return self.texts()[i]
+
+    def stats(self) -> dict:
+        """Aggregate executor metrics plus the per-query breakdown."""
+        if self._results is None:
+            raise RuntimeError("stats are available after finish()")
+        per_query: List[Optional[dict]] = [None] * len(self.query_texts)
+        calls = cells = 0
+        for shard, result in zip(self._shards, self._results):
+            shard_stats = result["stats"]
+            calls += shard_stats["transformer_calls"]
+            cells += shard_stats["state_cells"]
+            for local_i, orig_i in enumerate(shard.indices):
+                per_query[orig_i] = shard_stats["per_query"][local_i]
+        return {
+            "queries": len(self.query_texts),
+            "workers": len(self._shards),
+            "mode": self.mode,
+            "shards": [list(s.indices) for s in self._shards],
+            "events_in": self.events_in,
+            "frames": self.frames,
+            "bytes_shipped": sum(s.bytes_shipped for s in self._shards),
+            "transformer_calls": calls,
+            "state_cells": cells,
+            "per_query": per_query,
+        }
+
+    def __repr__(self) -> str:
+        return "ShardedMultiQueryRun({} queries, {} workers, {})".format(
+            len(self.query_texts), len(self._shards), self.mode)

@@ -2,11 +2,11 @@
 
 from . import ast
 from .compiler import CompileError, Compiler, Plan, compile_query
-from .engine import QueryRun, XFlux
-from .parser import XQuerySyntaxError, parse
+from .engine import MultiQueryRun, QueryRun, XFlux
+from .parser import XQuerySyntaxError, parse, parse_cached
 
 __all__ = [
     "ast", "parse", "XQuerySyntaxError",
     "Compiler", "Plan", "compile_query", "CompileError",
-    "XFlux", "QueryRun",
+    "XFlux", "QueryRun", "MultiQueryRun", "parse_cached",
 ]

@@ -34,7 +34,7 @@ from ..events.model import Event
 from ..xmlio.tokenizer import tokenize
 from .ast import Expr
 from .compiler import Compiler, Plan
-from .parser import parse
+from .parser import parse_cached
 
 
 class QueryRun:
@@ -94,6 +94,127 @@ class QueryRun:
         }
 
 
+class MultiQueryRun:
+    """N standing queries over one shared input stream, in a single pass.
+
+    The serving-shaped executor: the input is tokenized/deserialized
+    once, every batch is fanned out to all compiled pipelines by the
+    :class:`~repro.core.multiplex.EventMultiplexer`, consumers that
+    ignore updates share one stripper pass, and queries with identical
+    text and flags share one pipeline (their results are reference-equal
+    by construction).  Per-query results and accounting are exactly
+    those of N independent runs over the same events.
+
+    Typical use::
+
+        mq = MultiQueryRun(['X//item/quantity', 'count(X//item)'])
+        mq.run_xml(document)
+        for query, text in zip(mq.query_texts, mq.texts()):
+            print(query, '->', text)
+
+    Args:
+        queries: query texts or preconstructed :class:`XFlux` engines
+            (mixing is fine; engines keep their own flags).
+        mutable_source / ignore_updates: defaults applied to queries
+            given as text.
+        validate: check element nesting of the shared input once.
+        dedup: collapse identical (text, flags) queries onto one
+            pipeline.
+        always_active: disable wrapper fast paths (differential tests).
+    """
+
+    def __init__(self, queries, mutable_source: bool = False,
+                 ignore_updates: bool = False, validate: bool = False,
+                 dedup: bool = True, always_active: bool = False) -> None:
+        from ..core.multiplex import EventMultiplexer
+        self.engines = []
+        for q in queries:
+            if isinstance(q, XFlux):
+                self.engines.append(q)
+            else:
+                self.engines.append(XFlux(q, mutable_source=mutable_source,
+                                          ignore_updates=ignore_updates))
+        self.query_texts = [e.query_text for e in self.engines]
+        self.runs = []          # unique pipelines, construction order
+        self._slots = []        # query index -> index into self.runs
+        seen = {}
+        for e in self.engines:
+            key = ((e.query_text, e.mutable_source, e.ignore_updates)
+                   if dedup else len(self._slots))
+            slot = seen.get(key)
+            if slot is None:
+                slot = len(self.runs)
+                seen[key] = slot
+                self.runs.append(QueryRun(e.compile(),
+                                          ignore_updates=e.ignore_updates,
+                                          always_active=always_active))
+            self._slots.append(slot)
+        source_ids = {r.plan.source_id for r in self.runs}
+        if len(source_ids) > 1:
+            raise ValueError("queries disagree on the source stream "
+                             "number: {}".format(sorted(source_ids)))
+        self.source_id = source_ids.pop() if source_ids else 0
+        self.needs_oids = any(r.plan.needs_oids for r in self.runs)
+        self.mux = EventMultiplexer(self.runs, validate=validate)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    # -- feeding ---------------------------------------------------------------
+
+    def feed(self, event: Event) -> None:
+        self.mux.feed(event)
+
+    def feed_all(self, events: Iterable[Event]) -> None:
+        self.mux.feed_batch(events)
+
+    def finish(self) -> "MultiQueryRun":
+        self.mux.finish()
+        return self
+
+    def run(self, events: Iterable[Event]) -> "MultiQueryRun":
+        """Evaluate all queries over a complete event stream."""
+        self.feed_all(events)
+        return self.finish()
+
+    def run_xml(self, text: str) -> "MultiQueryRun":
+        """Evaluate all queries over an XML document — tokenized once."""
+        events = tokenize(text, stream_id=self.source_id,
+                          emit_oids=self.needs_oids)
+        return self.run(events)
+
+    # -- results ---------------------------------------------------------------
+
+    def query_run(self, i: int) -> QueryRun:
+        """The (possibly shared) live run serving query ``i``."""
+        return self.runs[self._slots[i]]
+
+    def text(self, i: int) -> str:
+        return self.query_run(i).text()
+
+    def texts(self) -> list:
+        """Current answers, one per query, in construction order."""
+        return [self.runs[s].text() for s in self._slots]
+
+    def stats(self) -> dict:
+        """Aggregate executor metrics plus the per-query breakdown.
+
+        ``per_query`` is in submission order; deduplicated queries report
+        their shared pipeline's stats.  Aggregate counters (transformer
+        calls, state cells) count each unique pipeline once.
+        """
+        stats = self.mux.stats()
+        stats["queries"] = len(self._slots)
+        stats["deduped"] = len(self._slots) - len(self.runs)
+        stats["per_query"] = [stats["per_pipeline"][s]
+                              for s in self._slots]
+        return stats
+
+    def __repr__(self) -> str:
+        return "MultiQueryRun({} queries, {} pipelines)".format(
+            len(self._slots), len(self.runs))
+
+
 class XFlux:
     """A streaming XQuery processor built on update streams.
 
@@ -106,7 +227,11 @@ class XFlux:
 
     def __init__(self, query, mutable_source: bool = False,
                  ignore_updates: bool = False) -> None:
-        self.ast: Expr = parse(query) if isinstance(query, str) else query
+        # Parsing goes through the module-level AST cache: constructing
+        # many engines for the same standing query parses once (the
+        # compiler never mutates the AST, so sharing is safe).
+        self.ast: Expr = (parse_cached(query) if isinstance(query, str)
+                          else query)
         self.query_text = query if isinstance(query, str) else repr(query)
         self.mutable_source = mutable_source
         #: Section V consumer opt-out: treat every incoming mutable region

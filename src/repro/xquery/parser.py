@@ -28,6 +28,7 @@ A bare Name in primary position is a dataset handle (the paper writes
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import List, Optional
 
 from .ast import (ANCESTOR, BoolExpr, CHILD, DESCENDANT, PARENT, TEXT,
@@ -68,6 +69,18 @@ def parse(text: str) -> Expr:
     if parser.pos < len(parser.text):
         parser.fail("unexpected trailing input")
     return expr
+
+
+@lru_cache(maxsize=256)
+def parse_cached(text: str) -> Expr:
+    """Parse with a module-level AST cache keyed by the query text.
+
+    A serving executor constructs many engines for the same standing
+    query; the AST is read-only downstream (the compiler only walks it),
+    so all of them can share one parse.  Errors are not cached — a
+    failing parse raises before the cache stores anything.
+    """
+    return parse(text)
 
 
 class _Parser:
