@@ -1,0 +1,31 @@
+"""Static plan analysis and stream-protocol sanitation.
+
+Two complementary checkers for compiled pipelines:
+
+* :mod:`~repro.analysis.static_plan` — analyze a compiled plan *without
+  running it*: derive which update brackets each stage will track and
+  declare, precompute the fix map (which region numbers stay mutable
+  after end-of-stream), classify per-stage memory behaviour, and lint
+  the plan (dormant fast paths, no-op stages, undeclared terminal
+  regions).
+* :mod:`~repro.analysis.sanitize` — validate the event protocol at every
+  stage boundary at run time (``sanitize=True`` / ``REPRO_SANITIZE=1``).
+"""
+
+from .sanitize import BoundaryChecker, boundary_checkers, check_stream
+from .static_plan import (BracketFamily, PlanReport, StageReport,
+                          analyze_plan, analyze_query, render_report,
+                          verify_against_runtime)
+
+__all__ = [
+    "BoundaryChecker",
+    "boundary_checkers",
+    "check_stream",
+    "BracketFamily",
+    "PlanReport",
+    "StageReport",
+    "analyze_plan",
+    "analyze_query",
+    "render_report",
+    "verify_against_runtime",
+]

@@ -15,12 +15,21 @@ Options:
     --follow           print the display every time it changes (the
                        continuous answer), not just the final result
     --stats            print execution metrics to stderr
+    --sanitize         validate the inter-stage event protocol while
+                       running (also: REPRO_SANITIZE=1)
     --query-file FILE  read the query text from a file instead of argv
 
 There is also a benchmark subcommand that records the paper's evaluation
 quantities as machine-readable JSON (see repro.bench.record):
 
     python -m repro bench --scale 0.1 --repeats 3 --out-dir .
+
+and a static plan analyzer that lints a compiled pipeline without
+running it — per-stage memory classes, the precomputed fix map, update
+reachability (paper query names Q1..Q9 are accepted as shorthand):
+
+    python -m repro analyze 'X//europe//item/quantity'
+    python -m repro analyze Q7 --input auction.xml
 """
 
 from __future__ import annotations
@@ -55,7 +64,79 @@ def build_arg_parser() -> argparse.ArgumentParser:
                     help="print the display whenever it changes")
     ap.add_argument("--stats", action="store_true",
                     help="print execution metrics to stderr")
+    ap.add_argument("--sanitize", action="store_true",
+                    help="validate the inter-stage event protocol while "
+                         "running (raises on the first violation)")
     return ap
+
+
+def build_analyze_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Statically analyze a compiled query pipeline: "
+                    "per-stage memory classes, tracked/emitted update "
+                    "brackets, the precomputed fix map, and lints.")
+    ap.add_argument("query", nargs="?",
+                    help="query text, or a paper query name Q1..Q9")
+    ap.add_argument("--query-file", help="read the query from this file")
+    ap.add_argument("--mutable-source", action="store_true",
+                    help="analyze assuming the input embeds updates")
+    ap.add_argument("--input",
+                    help="also run the query over this XML document and "
+                         "check the static fix map against the runtime "
+                         "one ('-' for stdin)")
+    ap.add_argument("--events", action="store_true",
+                    help="--input is the textual event-stream format")
+    ap.add_argument("--sanitize", action="store_true",
+                    help="interpose protocol checkers during the "
+                         "--input run")
+    return ap
+
+
+def analyze_main(argv, out, err) -> int:
+    from .analysis import analyze_plan, render_report, \
+        verify_against_runtime
+    from .bench.harness import PAPER_QUERIES
+    from .xquery.engine import QueryRun
+    args = build_analyze_arg_parser().parse_args(list(argv))
+    if args.query_file:
+        query_text = _read_text(args.query_file)
+    elif args.query is None:
+        print("error: no query given (positional or --query-file)",
+              file=err)
+        return 2
+    else:
+        query_text = PAPER_QUERIES.get(args.query, args.query)
+
+    try:
+        engine = XFlux(query_text, mutable_source=args.mutable_source)
+        plan = engine.compile()
+        report = analyze_plan(plan)
+    except Exception as exc:  # parse/compile diagnostics for the user
+        print("error: {}".format(exc), file=err)
+        return 2
+    print(render_report(report), file=out)
+
+    if args.input is None:
+        return 0
+    # Dynamic cross-check: run the SAME plan so stream numbers line up.
+    text = _read_text(args.input)
+    run = QueryRun(plan, sanitize=True if args.sanitize else None)
+    try:
+        run.feed_all(_event_source(text, args.events, plan.needs_oids))
+        run.finish()
+    except Exception as exc:
+        print("error: {}".format(exc), file=err)
+        return 1
+    problems = verify_against_runtime(plan, report)
+    if problems:
+        print("runtime fix map DISAGREES with the static analysis:",
+              file=out)
+        for p in problems:
+            print("  - {}".format(p), file=out)
+        return 1
+    print("runtime fix map agrees with the static analysis.", file=out)
+    return 0
 
 
 def build_bench_arg_parser() -> argparse.ArgumentParser:
@@ -130,6 +211,8 @@ def main(argv: Optional[Iterable[str]] = None,
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "bench":
         return bench_main(argv[1:], out, err)
+    if argv and argv[0] == "analyze":
+        return analyze_main(argv[1:], out, err)
     args = build_arg_parser().parse_args(argv)
 
     if args.query_file:
@@ -153,7 +236,7 @@ def main(argv: Optional[Iterable[str]] = None,
         return 2
 
     text = _read_text(input_path)
-    run = engine.start()
+    run = engine.start(sanitize=True if args.sanitize else None)
     shown: Optional[str] = None
     try:
         for event in _event_source(text, args.events, plan.needs_oids):

@@ -46,8 +46,9 @@ class NestingGuard:
 
     def check_batch(self, events: Sequence[Event]) -> None:
         stacks = self._stacks
+        base = self.events_checked
         self.events_checked += len(events)
-        for e in events:
+        for pos, e in enumerate(events):
             kind = e.kind
             if kind == SE:
                 stacks.setdefault(e.id, []).append(e.tag or "")
@@ -55,11 +56,14 @@ class NestingGuard:
                 stack = stacks.get(e.id)
                 if not stack:
                     raise WellFormednessError(
-                        "unmatched eE({},{!r})".format(e.id, e.tag))
+                        "unmatched eE", rule="element-nesting",
+                        stage="shared input guard", event=e,
+                        index=base + pos, stream=e.id)
                 if stack[-1] != (e.tag or ""):
                     raise WellFormednessError(
-                        "eE({},{!r}) closes open element {!r}".format(
-                            e.id, e.tag, stack[-1]))
+                        "eE closes open element {!r}".format(stack[-1]),
+                        rule="element-nesting", stage="shared input guard",
+                        event=e, index=base + pos, stream=e.id)
                 stack.pop()
 
     def finish(self) -> None:
@@ -68,7 +72,9 @@ class NestingGuard:
         if open_tags:
             raise WellFormednessError(
                 "stream ended with open elements: {}".format(
-                    {sid: list(s) for sid, s in open_tags.items()}))
+                    {sid: list(s) for sid, s in open_tags.items()}),
+                rule="element-nesting", stage="shared input guard",
+                index=self.events_checked, stream=min(open_tags))
 
 
 class EventMultiplexer:

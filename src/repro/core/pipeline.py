@@ -75,10 +75,19 @@ class Pipeline:
         always_active: disable the wrappers' update-free fast path (every
             stage pays full region bookkeeping from the first event); used
             by differential tests and ablations.
+        sanitize: interpose a
+            :class:`~repro.analysis.sanitize.BoundaryChecker` at every
+            stage boundary (source -> stage 0, stage i -> stage i+1,
+            last stage -> sink) validating the inter-stage event
+            protocol; any violation raises
+            :class:`~repro.events.errors.ProtocolViolation`.  Disables
+            the routing fast path so every boundary sees its full
+            stream.
     """
 
     def __init__(self, ctx: Context, stages: Sequence[StateTransformer],
-                 sink, always_active: bool = False) -> None:
+                 sink, always_active: bool = False,
+                 sanitize: bool = False) -> None:
         self.ctx = ctx
         self.wrappers: List[UpdateWrapper] = [
             UpdateWrapper(t, always_active=always_active) for t in stages]
@@ -99,6 +108,18 @@ class Pipeline:
             self._routes = [w.tracked for w in self.wrappers]
         else:
             self._routes = None
+        if sanitize:
+            # Local import: repro.analysis depends on the compiler, which
+            # depends on this module.
+            from ..analysis.sanitize import boundary_checkers
+            self._checkers: Optional[list] = boundary_checkers(stages, sink)
+            # Routing would skip boundaries for untracked events; the
+            # checkers need the complete stream at every boundary.  The
+            # one global side effect routing performs — the fix-map write
+            # of freeze — moves into the checker feed path instead.
+            self._routes = None
+        else:
+            self._checkers = None
         self._finished = False
 
     def feed(self, e: Event) -> None:
@@ -116,6 +137,11 @@ class Pipeline:
         self._dispatch(0, e)
 
     def _dispatch(self, idx: int, e: Event) -> None:
+        checkers = self._checkers
+        if checkers is not None:
+            if e.kind == _FREEZE:
+                self.ctx.fix.freeze(e.id)
+            checkers[idx].feed(e)
         wrappers = self.wrappers
         if idx == len(wrappers):
             self.sink.process(e)
@@ -140,6 +166,7 @@ class Pipeline:
     def _drain(self, start_idx: int, events: Iterable[Event]) -> None:
         tables = self._tables
         routes = self._routes
+        checkers = self._checkers
         n = len(tables)
         sink_process = self.sink.process
         fix_freeze = self.ctx.fix.freeze
@@ -151,6 +178,10 @@ class Pipeline:
             ev = e
             while True:
                 kind = ev.kind
+                if checkers is not None:
+                    if kind == _FREEZE:
+                        fix_freeze(ev.id)
+                    checkers[idx].feed(ev)
                 if routes is not None:
                     # Routing: skip every stage that would pass the event
                     # through unchanged.  Data events and update starts /
@@ -210,6 +241,9 @@ class Pipeline:
         finish = getattr(self.sink, "finish", None)
         if finish is not None:
             finish()
+        if self._checkers is not None:
+            for checker in self._checkers:
+                checker.finish()
 
     def run(self, events: Iterable[Event]):
         """Feed a complete stream, flush, and return the sink."""

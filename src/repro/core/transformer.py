@@ -27,7 +27,7 @@ Non-inert transformers additionally implement:
 from __future__ import annotations
 
 import enum
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..events.model import Event, IdGenerator
 
@@ -68,8 +68,8 @@ class MutabilityRegistry:
 class Context:
     """Shared pipeline context: id allocator and the fix map."""
 
-    def __init__(self, ids: IdGenerator = None,
-                 fix: MutabilityRegistry = None) -> None:
+    def __init__(self, ids: Optional[IdGenerator] = None,
+                 fix: Optional[MutabilityRegistry] = None) -> None:
         self.ids = ids if ids is not None else IdGenerator()
         self.fix = fix if fix is not None else MutabilityRegistry()
 
@@ -170,6 +170,52 @@ class StateTransformer:
         that region's id so nested incoming brackets anchor correctly.
         """
         return self.output_id
+
+    # -- static facts for the plan analyzer ----------------------------------
+
+    def static_facts(self) -> dict:
+        """Compile-time facts about this stage (see :mod:`repro.analysis`).
+
+        Returns a dict with the keys:
+
+        * ``streaming`` — True when the stage emits output incrementally
+          (every stage in this engine does; operators that a conventional
+          evaluator would block on instead set ``paper_blocking``).
+        * ``paper_blocking`` — True for operators that are only unblocked
+          *because* of the update-stream protocol (aggregates, sorting,
+          concatenation): a plain-stream evaluator would have to buffer
+          their whole input.
+        * ``state_class`` — Koch-style memory class of the transformer
+          state: ``"constant"``, ``"per-region"`` (grows with open/unsealed
+          regions, reclaimed on freeze), ``"buffering"`` (bounded by one
+          item/document feature), or ``"unbounded"`` (grows with the
+          stream).
+        * ``generates_updates`` — abbrevs of update-kind events this stage
+          *originates* (not merely forwards), e.g. ``("sM", "freeze")``.
+        * ``brackets`` — specs of the update brackets the stage emits,
+          each a dict with ``kind`` (``"sM"``/``"sR"``/``"sB"``/``"sA"``),
+          ``target`` and ``sub`` (a concrete stream number, or the string
+          ``"dynamic"`` for ids allocated at run time; a spec may instead
+          reference an earlier spec of the same stage via ``parent``, its
+          index, meaning the target is that spec's dynamic sub),
+          ``freeze`` (``"always"``, ``"never"``, ``"conditional"`` — only
+          frozen when the source is immutable — or ``"derived"`` — frozen
+          exactly when the covering input regions freeze), and ``per``
+          (cardinality: ``"stream"``, ``"item"``, ``"tuple"``, ``"match"``
+          or ``"nested"``).
+        * ``notes`` — free-form remark surfaced in the lint report.
+
+        The base class describes an inert pass-through stage; every
+        update-originating operator overrides this.
+        """
+        return {
+            "streaming": True,
+            "paper_blocking": False,
+            "state_class": "constant",
+            "generates_updates": (),
+            "brackets": (),
+            "notes": "",
+        }
 
     # -- the state modifier F ----------------------------------------------
 

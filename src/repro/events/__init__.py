@@ -9,6 +9,7 @@ from .model import (ABBREV_TO_KIND, UpdateStripper, strip_updates, CD, DATA_KIND
                     matching_start, show, start_element, start_insert_after,
                     start_insert_before, start_mutable, start_replace,
                     start_stream, start_tuple)
+from .errors import ProtocolViolation
 from .serialize import (EventSyntaxError, dumps, event_to_text, iter_loads,
                         loads)
 from .wellformed import (WellFormednessError, check_well_formed,
@@ -33,5 +34,5 @@ __all__ = [
     "dumps", "loads", "iter_loads", "event_to_text", "EventSyntaxError",
     "is_well_formed", "check_well_formed", "element_balance",
     "validate_document_stream", "projection", "strip_tuples",
-    "WellFormednessError",
+    "WellFormednessError", "ProtocolViolation",
 ]

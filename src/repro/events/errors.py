@@ -1,0 +1,57 @@
+"""Structured stream-protocol errors.
+
+One error shape serves every checker layer — the document-level
+well-formedness validator (:mod:`repro.events.wellformed`), the shared
+multi-query nesting guard (:mod:`repro.core.multiplex`), and the
+inter-stage protocol sanitizer (:mod:`repro.analysis.sanitize`) — so a
+violation always names *where* it happened (stage or boundary), *what*
+event triggered it (repr and position), and *which* substream it was on.
+Tooling can catch :class:`ProtocolViolation` and read the fields instead
+of parsing messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ProtocolViolation(ValueError):
+    """An event sequence broke a stream-protocol invariant.
+
+    Attributes:
+        rule: short machine-readable name of the violated invariant
+            (e.g. ``"element-nesting"``, ``"update-bracket-match"``).
+        stage: the pipeline stage or boundary where the violation was
+            observed (``None`` for standalone sequence checks).
+        event: repr of the offending event (``None`` for end-of-stream
+            violations).
+        index: 0-based position of the offending event in the checked
+            sequence (``None`` when unknown).
+        stream: the stream/substream number the violation concerns.
+    """
+
+    def __init__(self, message: str, rule: Optional[str] = None,
+                 stage: Optional[str] = None,
+                 event: Optional[object] = None,
+                 index: Optional[int] = None,
+                 stream: Optional[int] = None) -> None:
+        self.rule = rule
+        self.stage = stage
+        self.event = None if event is None else repr(event)
+        self.index = index
+        self.stream = stream
+        parts = [message]
+        details = []
+        if rule is not None:
+            details.append("rule={}".format(rule))
+        if stage is not None:
+            details.append("at={}".format(stage))
+        if self.event is not None:
+            details.append("event={}".format(self.event))
+        if index is not None:
+            details.append("index={}".format(index))
+        if stream is not None:
+            details.append("stream={}".format(stream))
+        if details:
+            parts.append(" [{}]".format(", ".join(details)))
+        super().__init__("".join(parts))

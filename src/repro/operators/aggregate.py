@@ -28,6 +28,31 @@ from ..core.wrapper import UpdatePolicy
 _STRUCTURAL = (ST, ET)
 
 
+def _aggregate_facts(agg: StateTransformer, state_class: str,
+                     notes: str) -> dict:
+    """Shared static facts of the continuously-replaced aggregates.
+
+    Every aggregate shows its answer as one mutable region opened at
+    stream start and replaced in place on each change; neither the region
+    nor its replace substream is ever frozen (the answer stays revocable
+    for the whole run).
+    """
+    facts = StateTransformer.static_facts(agg)
+    facts.update(
+        paper_blocking=True,
+        state_class=state_class,
+        generates_updates=("sM", "sR"),
+        brackets=(
+            {"kind": "sM", "target": agg.output_id, "sub": agg.region_id,
+             "freeze": "never", "per": "stream"},
+            {"kind": "sR", "target": agg.region_id, "sub": agg.replace_id,
+             "freeze": "never", "per": "item"},
+        ),
+        notes=notes,
+    )
+    return facts
+
+
 class CountItems(StateTransformer):
     """``count(e)``: continuously displayed count of top-level items.
 
@@ -48,6 +73,10 @@ class CountItems(StateTransformer):
 
     def update_policy(self, stream_id: int) -> UpdatePolicy:
         return UpdatePolicy.CONSUME
+
+    def static_facts(self) -> dict:
+        return _aggregate_facts(self, "constant",
+                                "count register adjusted by deltas")
 
     def get_state(self) -> State:
         return (self.count, self.depth)
@@ -124,6 +153,11 @@ class NumericAggregate(StateTransformer):
 
     def update_policy(self, stream_id: int) -> UpdatePolicy:
         return UpdatePolicy.CONSUME
+
+    def static_facts(self) -> dict:
+        return _aggregate_facts(self, "buffering",
+                                "(total, n) register plus the current "
+                                "item's text buffer")
 
     def get_state(self) -> State:
         return (self.total, self.n, self.depth, self.parts)
@@ -224,6 +258,11 @@ class MinMaxAggregate(StateTransformer):
 
     def update_policy(self, stream_id: int) -> UpdatePolicy:
         return UpdatePolicy.CONSUME
+
+    def static_facts(self) -> dict:
+        return _aggregate_facts(self, "unbounded",
+                                "value -> multiplicity register, "
+                                "O(distinct values)")
 
     def get_state(self) -> State:
         return (self.counts, self.depth, self.parts)

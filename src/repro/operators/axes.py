@@ -127,6 +127,12 @@ class StringValue(StateTransformer):
         self.depth = 0
         self.parts: tuple = ()
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts.update(state_class="buffering",
+                     notes="accumulates the current item's text")
+        return facts
+
     def get_state(self) -> State:
         return (self.depth, self.parts)
 

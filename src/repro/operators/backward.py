@@ -71,6 +71,25 @@ class AncestorJoin(StateTransformer):
             return UpdatePolicy.SHARED
         return UpdatePolicy.TRANSLATE
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts.update(
+            state_class="constant" if self.freeze_decisions
+            else "per-region",
+            generates_updates=(("sM", "hide", "freeze")
+                               if self.freeze_decisions
+                               else ("sM", "hide", "show")),
+            brackets=(
+                {"kind": "sM", "target": self.output_id, "sub": "dynamic",
+                 "freeze": ("always" if self.freeze_decisions
+                            else "conditional"),
+                 "per": "match"},
+            ),
+            notes="per-candidate optimistic region; shared source-position "
+                  "registers live outside wrapper state",
+        )
+        return facts
+
     def get_state(self) -> State:
         return (self.depth, self.nid, self.outcome)
 

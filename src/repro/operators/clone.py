@@ -35,5 +35,11 @@ class Tee(StateTransformer):
     def update_policy(self, stream_id: int) -> UpdatePolicy:
         return UpdatePolicy.TEE
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts.update(notes="brackets re-emitted with fresh region numbers "
+                           "on the copy (TEE policy)")
+        return facts
+
     def process(self, e: Event) -> List[Event]:
         return [e, e.relabel(self.copy_id)]

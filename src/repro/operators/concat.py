@@ -38,6 +38,22 @@ class Concat(StateTransformer):
     def update_policy(self, stream_id: int) -> UpdatePolicy:
         return UpdatePolicy.TRANSPARENT
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts.update(
+            paper_blocking=True,
+            generates_updates=("sM", "sB"),
+            brackets=(
+                {"kind": "sM", "target": self.output_id,
+                 "sub": self.right_id, "freeze": "never", "per": "tuple"},
+                {"kind": "sB", "target": self.right_id,
+                 "sub": self.left_id, "freeze": "never", "per": "tuple"},
+            ),
+            notes="stateless; reuses the input stream numbers as region "
+                  "numbers, one region pair per tuple, never frozen",
+        )
+        return facts
+
     def process(self, e: Event) -> List[Event]:
         kind = e.kind
         if kind == ST:

@@ -94,6 +94,18 @@ class TupleRegionMixin:
         wid = self._region_to_wid.get(uid)
         return [show_event(wid)] if wid is not None else []
 
+    def _tuple_region_facts(self, base: dict, notes: str) -> dict:
+        base.update(
+            state_class="per-region",
+            generates_updates=("sM", "hide", "show", "freeze"),
+            brackets=(
+                {"kind": "sM", "target": self.output_id, "sub": "dynamic",
+                 "freeze": "derived", "per": "tuple"},
+            ),
+            notes=notes,
+        )
+        return base
+
     def on_region_frozen(self, uid: int) -> List[Event]:
         # The constructed wrapper seals only once *every* source region
         # it is slaved to has sealed (any live source could still hide
@@ -152,6 +164,12 @@ class TupleConstruct(TupleRegionMixin, StateTransformer):
         super().__init__(ctx, (input_id,), output_id)
         self.tag = tag
         self._init_tuple_region(seal)
+
+    def static_facts(self) -> dict:
+        return self._tuple_region_facts(
+            super().static_facts(),
+            "per-tuple wrapper element in a region slaved to the tuple's "
+            "source regions (sealed when they all freeze)")
 
     def get_state(self) -> State:
         return self._tuple_region_state()

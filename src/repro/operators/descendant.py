@@ -57,6 +57,25 @@ class DescendantStep(StateTransformer):
         #: collide when several update regions are processed concurrently.
         self.levels: Tuple[Tuple[int, int], ...] = ()
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        freeze_mode = "always" if self.freeze_regions else "never"
+        facts.update(
+            state_class="constant",
+            generates_updates=(("sM", "sB", "freeze")
+                               if self.freeze_regions else ("sM", "sB")),
+            brackets=(
+                {"kind": "sM", "target": self.output_id, "sub": "dynamic",
+                 "freeze": freeze_mode, "per": "match"},
+                {"kind": "sB", "target": "dynamic", "sub": "dynamic",
+                 "freeze": freeze_mode, "per": "nested", "parent": 0},
+            ),
+            notes="O(nesting depth) open-level stack; anchors frozen at "
+                  "subtree close" if self.freeze_regions else
+                  "O(nesting depth) open-level stack",
+        )
+        return facts
+
     def get_state(self) -> State:
         return (self.depth, self.levels)
 

@@ -75,6 +75,22 @@ class ForTuples(StateTransformer):
     def update_policy(self, stream_id: int) -> UpdatePolicy:
         return UpdatePolicy.RAW
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts.update(
+            state_class="per-region",
+            generates_updates=("sM", "hide", "show", "freeze"),
+            brackets=(
+                {"kind": "sM", "target": self.output_id, "sub": "dynamic",
+                 "freeze": "derived", "per": "item"},
+            ),
+            notes="normalizes update structure per tuple: spanning "
+                  "brackets are dissolved (their wids seal when every "
+                  "source freezes), within-item brackets are retargeted "
+                  "and forwarded",
+        )
+        return facts
+
     def get_state(self) -> State:
         return (self.depth, self.wid)
 
@@ -208,12 +224,18 @@ class ForTuples(StateTransformer):
     def _toggle_spanning(self, e: Event) -> List[Event]:
         span = self._spanning[e.id]
         out: List[Event] = []
+        # Only toggle wids that are still unsealed: a replacement of a
+        # sibling spanning bracket may have frozen and released a wid that
+        # this span's list still holds, and hide/show after freeze breaks
+        # the stream protocol (frozen regions are closed to everything).
         if e.kind == HIDE:
             span.hidden = True
-            out.extend(hide_event(w) for w in span.wids)
+            out.extend(hide_event(w) for w in span.wids
+                       if w in self._pending_seal)
         elif e.kind == SHOW:
             span.hidden = False
-            out.extend(show_event(w) for w in span.wids)
+            out.extend(show_event(w) for w in span.wids
+                       if w in self._pending_seal)
         else:  # FREEZE: release the wids this source was holding open
             for wid in span.wids:
                 pending = self._pending_seal.get(wid)

@@ -178,6 +178,12 @@ class LiteralText(TupleRegionMixin, StateTransformer):
         self.text = text
         self._init_tuple_region(seal)
 
+    def static_facts(self) -> dict:
+        return self._tuple_region_facts(
+            super().static_facts(),
+            "per-tuple literal in a region slaved to the tuple's source "
+            "regions (sealed when they all freeze)")
+
     def get_state(self) -> State:
         return self._tuple_region_state()
 

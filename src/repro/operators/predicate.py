@@ -289,6 +289,24 @@ class Predicate(StateTransformer):
         #: arrival order, not with state residency.
         self._item_flags: Dict[int, Tuple] = {}
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts.update(
+            state_class="constant" if self.assume_fixed else "per-region",
+            generates_updates=(("sM", "freeze") if self.assume_fixed
+                               else ("sM", "hide", "show", "freeze")),
+            brackets=(
+                {"kind": "sM", "target": self.output_id, "sub": "dynamic",
+                 "freeze": "always" if self.assume_fixed else "conditional",
+                 "per": "item"},
+            ),
+            notes="decisions sealed at item end (fixed source)"
+                  if self.assume_fixed else
+                  "revocable decisions: per-item flags retained until "
+                  "frozen",
+        )
+        return facts
+
     # -- state plumbing --------------------------------------------------------
 
     def get_state(self) -> State:

@@ -81,6 +81,24 @@ class SortTuples(StateTransformer):
     def update_policy(self, stream_id: int) -> UpdatePolicy:
         return UpdatePolicy.RAW
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts.update(
+            paper_blocking=True,
+            state_class="unbounded",
+            generates_updates=("sM", "sA", "hide", "show"),
+            brackets=(
+                {"kind": "sM", "target": self.output_id,
+                 "sub": self.anchor_id, "freeze": "never", "per": "stream"},
+                {"kind": "sA", "target": "dynamic", "sub": "dynamic",
+                 "freeze": "never", "per": "tuple", "parent": 0},
+            ),
+            notes="key -> placement map grows with the stream (the "
+                  "paper's noted unbounded case); placements stay "
+                  "mutable so late items can be inserted between them",
+        )
+        return facts
+
     def get_state(self) -> State:
         return (self.keys, self.seq, self.in_tuple, self.found_key,
                 self.nid, self.cur_anchor, self.queue)

@@ -46,12 +46,21 @@ class Plan:
     """A compiled query: the stage list plus stream metadata."""
 
     def __init__(self, stages: List[StateTransformer], source_id: int,
-                 result_id: int, ctx: Context, needs_oids: bool) -> None:
+                 result_id: int, ctx: Context, needs_oids: bool,
+                 mutable_source: bool = False) -> None:
         self.stages = stages
         self.source_id = source_id
         self.result_id = result_id
         self.ctx = ctx
         self.needs_oids = needs_oids
+        #: Whether the plan was compiled for a source that embeds updates
+        #: (predicate decisions revocable, Section V pruning off).
+        self.mutable_source = mutable_source
+        #: Ids below this were allocated at compile time (stream numbers
+        #: and operator-owned region ids); ids at or above it are allocated
+        #: while events flow.  The static analyzer uses this watermark to
+        #: compare its fix-map prediction with the runtime registry.
+        self.first_runtime_id = ctx.ids._next
 
     def __repr__(self) -> str:
         return "Plan({} stages, source={}, result={})".format(
@@ -85,7 +94,7 @@ class Compiler:
     def compile(self, expr: ast.Expr) -> Plan:
         result_id = self._compile(expr, per_tuple=False)
         return Plan(self.stages, self.source_id, result_id, self.ctx,
-                    self.needs_oids)
+                    self.needs_oids, mutable_source=self.mutable_source)
 
     # -- dispatch -------------------------------------------------------------
 

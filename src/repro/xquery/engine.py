@@ -25,6 +25,7 @@ pipeline into a :class:`~repro.core.display.Display`.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, Optional
 
 from ..core.display import Display
@@ -37,6 +38,11 @@ from .compiler import Compiler, Plan
 from .parser import parse_cached
 
 
+def _sanitize_default() -> bool:
+    """Opt into boundary checking via the REPRO_SANITIZE env variable."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
 class QueryRun:
     """One live execution of a compiled query."""
 
@@ -45,12 +51,16 @@ class QueryRun:
                                               None]] = None,
                  track_snapshots: bool = False,
                  ignore_updates: bool = False,
-                 always_active: bool = False) -> None:
+                 always_active: bool = False,
+                 sanitize: Optional[bool] = None) -> None:
+        if sanitize is None:
+            sanitize = _sanitize_default()
         self.plan = plan
         self.display = Display(plan.result_id, on_change=on_change,
                                track_snapshots=track_snapshots)
         self.pipeline = Pipeline(plan.ctx, plan.stages, self.display,
-                                 always_active=always_active)
+                                 always_active=always_active,
+                                 sanitize=sanitize)
         from ..events.model import UpdateStripper
         self._stripper = UpdateStripper() if ignore_updates else None
 
@@ -125,7 +135,8 @@ class MultiQueryRun:
 
     def __init__(self, queries, mutable_source: bool = False,
                  ignore_updates: bool = False, validate: bool = False,
-                 dedup: bool = True, always_active: bool = False) -> None:
+                 dedup: bool = True, always_active: bool = False,
+                 sanitize: Optional[bool] = None) -> None:
         from ..core.multiplex import EventMultiplexer
         self.engines = []
         for q in queries:
@@ -147,7 +158,8 @@ class MultiQueryRun:
                 seen[key] = slot
                 self.runs.append(QueryRun(e.compile(),
                                           ignore_updates=e.ignore_updates,
-                                          always_active=always_active))
+                                          always_active=always_active,
+                                          sanitize=sanitize))
             self._slots.append(slot)
         source_ids = {r.plan.source_id for r in self.runs}
         if len(source_ids) > 1:
@@ -248,11 +260,13 @@ class XFlux:
 
     def start(self, on_change: Optional[Callable[[Event, Display],
                                                  None]] = None,
-              track_snapshots: bool = False) -> QueryRun:
+              track_snapshots: bool = False,
+              sanitize: Optional[bool] = None) -> QueryRun:
         """Begin a continuous run; feed it events as they arrive."""
         return QueryRun(self.compile(), on_change=on_change,
                         track_snapshots=track_snapshots,
-                        ignore_updates=self.ignore_updates)
+                        ignore_updates=self.ignore_updates,
+                        sanitize=sanitize)
 
     def run(self, events: Iterable[Event], **kwargs) -> QueryRun:
         """Evaluate over a complete event stream."""

@@ -1,0 +1,71 @@
+"""Regression: the module-level AST cache must not couple engine runs.
+
+``parse_cached`` shares one AST across every :class:`~repro.XFlux`
+constructed for the same query text.  Each engine run must still own its
+display state: the ``Display.text()`` memo of one run must never serve
+(or be invalidated by) events fed to another run compiled from the same
+cached AST.
+"""
+
+from repro.xquery.engine import XFlux
+from repro.xquery.parser import parse_cached
+
+from tests.helpers import naive_result
+
+QUERY = "X//item/quantity"
+DOC_A = "<X><item><quantity>1</quantity></item></X>"
+DOC_B = ("<X><item><quantity>7</quantity></item>"
+         "<item><quantity>8</quantity></item></X>")
+
+
+def test_same_query_shares_one_ast():
+    a, b = XFlux(QUERY), XFlux(QUERY)
+    assert a.ast is b.ast
+    assert a.ast is parse_cached(QUERY)
+
+
+def test_cached_ast_runs_stay_independent():
+    run_a = XFlux(QUERY).run_xml(DOC_A)
+    text_a = run_a.text()           # populates run_a's display memo
+    run_b = XFlux(QUERY).run_xml(DOC_B)
+    assert run_b.text() == naive_result(QUERY, DOC_B)
+    # The earlier run's memoized answer must be untouched by the later
+    # run that reused the cached AST.
+    assert run_a.text() == text_a == naive_result(QUERY, DOC_A)
+    assert run_a.display is not run_b.display
+
+
+def test_interleaved_continuous_runs_do_not_share_memo():
+    from repro import tokenize
+    engine_a, engine_b = XFlux(QUERY), XFlux(QUERY)
+    run_a, run_b = engine_a.start(), engine_b.start()
+    events_a = list(tokenize(DOC_A))
+    events_b = list(tokenize(DOC_B))
+    # Interleave, polling text() after every event so each display's
+    # memo is repeatedly populated while the *other* run advances.
+    for i in range(max(len(events_a), len(events_b))):
+        if i < len(events_a):
+            run_a.feed(events_a[i])
+            run_a.text()
+        if i < len(events_b):
+            run_b.feed(events_b[i])
+            run_b.text()
+    run_a.finish()
+    run_b.finish()
+    assert run_a.text() == naive_result(QUERY, DOC_A)
+    assert run_b.text() == naive_result(QUERY, DOC_B)
+
+
+def test_memo_invalidated_within_one_run():
+    run = XFlux(QUERY).start()
+    from repro import tokenize
+    events = list(tokenize(DOC_B))
+    seen = []
+    for e in events:
+        run.feed(e)
+        seen.append(run.text())
+    run.finish()
+    assert run.text() == naive_result(QUERY, DOC_B)
+    # The poll sequence must have progressed (memo not stuck on the
+    # first answer).
+    assert seen[0] != seen[-1] or len(set(seen)) > 1
