@@ -15,7 +15,7 @@ Two complementary checkers for compiled pipelines:
 from .sanitize import BoundaryChecker, boundary_checkers, check_stream
 from .static_plan import (BracketFamily, PlanReport, StageReport,
                           analyze_plan, analyze_query, render_report,
-                          verify_against_runtime)
+                          report_to_dict, verify_against_runtime)
 
 __all__ = [
     "BoundaryChecker",
@@ -27,5 +27,6 @@ __all__ = [
     "analyze_plan",
     "analyze_query",
     "render_report",
+    "report_to_dict",
     "verify_against_runtime",
 ]

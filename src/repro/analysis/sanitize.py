@@ -47,8 +47,13 @@ _ABBREV_START = {int(k): a for k, a in
 class BoundaryChecker:
     """Validate the event stream crossing one pipeline boundary."""
 
-    def __init__(self, label: str) -> None:
+    def __init__(self, label: str,
+                 stage_index: Optional[int] = None) -> None:
         self.label = label
+        #: Boundary index (0 = source -> stage 0, n = last stage ->
+        #: sink); ``None`` for standalone checks.  Carried into every
+        #: :class:`~repro.events.errors.ProtocolViolation`.
+        self.stage_index = stage_index
         self.count = 0
         self.open_streams: Set[int] = set()
         self.closed_streams: Set[int] = set()
@@ -67,7 +72,8 @@ class BoundaryChecker:
     def _fail(self, message: str, rule: str, e: Optional[Event],
               stream: Optional[int] = None) -> NoReturn:
         raise ProtocolViolation(message, rule=rule, stage=self.label,
-                                event=e, index=self.count, stream=stream)
+                                event=e, index=self.count, stream=stream,
+                                stage_index=self.stage_index)
 
     def _known(self, i: int) -> bool:
         return i in self.open_streams or i in self.open_brackets
@@ -248,12 +254,12 @@ def boundary_checkers(stages: Sequence, sink) -> List[BoundaryChecker]:
     and the first stage; boundary ``n`` between the last stage and the
     display sink.
     """
-    names = ["{}[{}]".format(type(t).__name__, i)
-             for i, t in enumerate(stages)]
+    from ..obs.recorder import stage_identities
+    names = [ident.label for ident in stage_identities(stages)]
     sink_name = type(sink).__name__.lower()
     endpoints = ["source"] + names + [sink_name]
-    return [BoundaryChecker("{} -> {}".format(a, b))
-            for a, b in zip(endpoints, endpoints[1:])]
+    return [BoundaryChecker("{} -> {}".format(a, b), stage_index=i)
+            for i, (a, b) in enumerate(zip(endpoints, endpoints[1:]))]
 
 
 def check_stream(events, label: str = "stream",

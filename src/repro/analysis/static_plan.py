@@ -508,6 +508,71 @@ def render_report(report: PlanReport) -> str:
     return "\n".join(lines)
 
 
+def _family_to_dict(f: BracketFamily) -> dict:
+    target = (f.target if not isinstance(f.target, BracketFamily)
+              else {"region_of_stage": f.target.origin})
+    return {
+        "origin": f.origin,
+        "kind": f.kind,
+        "target": target,
+        "sub": f.sub,
+        "freeze": f.freeze,
+        "per": f.per,
+        "translated_from": (None if f.translated_from is None
+                            else f.translated_from.origin),
+        "declared_at": list(f.declared_at),
+        "synthetic": f.synthetic,
+    }
+
+
+def report_to_dict(report: PlanReport) -> dict:
+    """The machine-readable form of :func:`render_report`.
+
+    Stage naming reuses the telemetry layer's
+    :class:`~repro.obs.recorder.StageIdentity` labels, so ``analyze
+    --json`` output joins against metrics / trace JSON on ``label``.
+    """
+    from ..obs.recorder import stage_identities
+    plan = report.plan
+    idents = stage_identities(plan.stages)
+    stages = []
+    for sr, ident in zip(report.stages, idents):
+        stages.append({
+            "index": sr.index,
+            "label": ident.label,
+            "transformer": repr(sr.transformer),
+            "memory": sr.effective_state,
+            "dormant": sr.dormant,
+            "blocking": bool(sr.facts.get("paper_blocking")),
+            "tracked": [dict(_family_to_dict(f),
+                             policy=sr.policies[id(f)])
+                        for f in sr.tracked],
+            "emits": [_family_to_dict(f) for f in sr.own],
+            "notes": sr.facts.get("notes"),
+            "lints": list(sr.lints),
+        })
+    return {
+        "plan": {
+            "stages": len(plan.stages),
+            "source_id": plan.source_id,
+            "result_id": plan.result_id,
+            "mutable_source": plan.mutable_source,
+            "first_runtime_id": plan.first_runtime_id,
+        },
+        "stages": stages,
+        "fix_map": {
+            "persistent_static": list(report.persistent_static),
+            "conditional_static": list(report.conditional_static),
+            "dynamic_persistent": [_family_to_dict(f)
+                                   for f in report.dynamic_persistent],
+            "dynamic_conditional": [_family_to_dict(f)
+                                    for f in
+                                    report.dynamic_conditional],
+        },
+        "lints": list(report.lints),
+    }
+
+
 def analyze_query(query: str, mutable_source: bool = False) -> PlanReport:
     """Compile ``query`` and analyze the resulting plan."""
     from ..xquery.engine import XFlux

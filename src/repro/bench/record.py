@@ -34,6 +34,7 @@ from .harness import PAPER_QUERIES, QUERY_DATASET, Workloads
 QUERIES_JSON = "BENCH_queries.json"
 TOKENIZE_JSON = "BENCH_tokenize.json"
 MULTIQUERY_JSON = "BENCH_multiquery.json"
+MEMORY_JSON = "BENCH_memory.json"
 
 
 def _meta(workloads: Workloads, repeats: int) -> Dict:
@@ -156,6 +157,35 @@ def write_multiquery_file(out_dir: str = ".", scale: float = 0.1,
     if err is not None:
         print("wrote {}".format(path), file=err)
     return {MULTIQUERY_JSON: path}
+
+
+def write_memory_file(out_dir: str = ".", scale: float = 0.1,
+                      queries: Optional[Sequence[str]] = None,
+                      sample_interval: int = 512,
+                      keep_samples: bool = True,
+                      err=None) -> Dict[str, str]:
+    """Run the memory-footprint benchmark; returns the file path.
+
+    No repeats: the recorded quantities (cells, regions, samples) are
+    deterministic functions of the input stream, not wall-clock
+    measurements.
+    """
+    from .memory import bench_memory
+    os.makedirs(out_dir or ".", exist_ok=True)
+    workloads = Workloads(xmark_scale=scale, dblp_scale=scale)
+    payload = bench_memory(workloads, queries=queries,
+                           sample_interval=sample_interval,
+                           keep_samples=keep_samples)
+    payload = dict(meta=dict(_meta(workloads, repeats=1),
+                             timing="deterministic cell counts"),
+                   **payload)
+    path = "{}/{}".format(out_dir.rstrip("/"), MEMORY_JSON)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    if err is not None:
+        print("wrote {}".format(path), file=err)
+    return {MEMORY_JSON: path}
 
 
 def write_bench_files(out_dir: str = ".", scale: float = 0.1,

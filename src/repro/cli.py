@@ -15,6 +15,8 @@ Options:
     --follow           print the display every time it changes (the
                        continuous answer), not just the final result
     --stats            print execution metrics to stderr
+    --metrics          record per-stage telemetry while running and
+                       print it as JSON to stderr (also: REPRO_METRICS=1)
     --sanitize         validate the inter-stage event protocol while
                        running (also: REPRO_SANITIZE=1)
     --query-file FILE  read the query text from a file instead of argv
@@ -23,13 +25,22 @@ There is also a benchmark subcommand that records the paper's evaluation
 quantities as machine-readable JSON (see repro.bench.record):
 
     python -m repro bench --scale 0.1 --repeats 3 --out-dir .
+    python -m repro bench --memory --out-dir .
 
-and a static plan analyzer that lints a compiled pipeline without
+a static plan analyzer that lints a compiled pipeline without
 running it — per-stage memory classes, the precomputed fix map, update
 reachability (paper query names Q1..Q9 are accepted as shorthand):
 
     python -m repro analyze 'X//europe//item/quantity'
     python -m repro analyze Q7 --input auction.xml
+    python -m repro analyze Q3 --json
+
+and two telemetry subcommands that run a query with the observability
+layer attached (paper query names synthesize their dataset when no
+input is given, so ``python -m repro trace Q3`` works standalone):
+
+    python -m repro stats Q1                 # per-stage metrics JSON
+    python -m repro trace Q3 --input doc.xml # update-provenance JSON
 """
 
 from __future__ import annotations
@@ -64,6 +75,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                     help="print the display whenever it changes")
     ap.add_argument("--stats", action="store_true",
                     help="print execution metrics to stderr")
+    ap.add_argument("--metrics", action="store_true",
+                    help="record per-stage telemetry and print it as "
+                         "JSON to stderr (also: REPRO_METRICS=1)")
     ap.add_argument("--sanitize", action="store_true",
                     help="validate the inter-stage event protocol while "
                          "running (raises on the first violation)")
@@ -90,11 +104,14 @@ def build_analyze_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--sanitize", action="store_true",
                     help="interpose protocol checkers during the "
                          "--input run")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as JSON instead of text")
     return ap
 
 
 def analyze_main(argv, out, err) -> int:
-    from .analysis import analyze_plan, render_report, \
+    import json
+    from .analysis import analyze_plan, render_report, report_to_dict, \
         verify_against_runtime
     from .bench.harness import PAPER_QUERIES
     from .xquery.engine import QueryRun
@@ -115,9 +132,13 @@ def analyze_main(argv, out, err) -> int:
     except Exception as exc:  # parse/compile diagnostics for the user
         print("error: {}".format(exc), file=err)
         return 2
-    print(render_report(report), file=out)
+    payload = report_to_dict(report) if args.json else None
+    if not args.json:
+        print(render_report(report), file=out)
 
     if args.input is None:
+        if args.json:
+            print(json.dumps(payload, indent=2), file=out)
         return 0
     # Dynamic cross-check: run the SAME plan so stream numbers line up.
     text = _read_text(args.input)
@@ -129,6 +150,11 @@ def analyze_main(argv, out, err) -> int:
         print("error: {}".format(exc), file=err)
         return 1
     problems = verify_against_runtime(plan, report)
+    if args.json:
+        payload["runtime_check"] = {"agrees": not problems,
+                                    "problems": problems}
+        print(json.dumps(payload, indent=2), file=out)
+        return 1 if problems else 0
     if problems:
         print("runtime fix map DISAGREES with the static analysis:",
               file=out)
@@ -136,6 +162,107 @@ def analyze_main(argv, out, err) -> int:
             print("  - {}".format(p), file=out)
         return 1
     print("runtime fix map agrees with the static analysis.", file=out)
+    return 0
+
+
+def build_telemetry_arg_parser(prog: str,
+                               tracing: bool) -> argparse.ArgumentParser:
+    what = ("update-provenance hops" if tracing
+            else "per-stage pipeline metrics")
+    ap = argparse.ArgumentParser(
+        prog="repro {}".format(prog),
+        description="Run a query with telemetry attached and print {} "
+                    "as JSON.  Paper query names Q1..Q9 synthesize "
+                    "their benchmark dataset when --input is omitted."
+                    .format(what))
+    ap.add_argument("query",
+                    help="query text, or a paper query name Q1..Q9")
+    ap.add_argument("--input",
+                    help="XML document to run over ('-' for stdin; "
+                         "default for Q1..Q9: a synthesized dataset)")
+    ap.add_argument("--events", action="store_true",
+                    help="--input is the textual event-stream format")
+    ap.add_argument("--mutable-source", action="store_true",
+                    help="the input embeds updates; keep decisions "
+                         "revocable")
+    ap.add_argument("--scale", type=float, default=0.02,
+                    help="scale of the synthesized dataset when no "
+                         "--input is given (default 0.02)")
+    ap.add_argument("--sample-interval", type=int, default=256,
+                    help="source events between footprint samples "
+                         "(default 256)")
+    ap.add_argument("--out", help="write the JSON here instead of stdout")
+    ap.add_argument("--indent", type=int, default=2,
+                    help="JSON indentation (default 2)")
+    return ap
+
+
+def telemetry_main(argv, out, err, tracing: bool) -> int:
+    """Shared driver of the ``stats`` and ``trace`` subcommands."""
+    import json
+    from .bench.harness import PAPER_QUERIES, QUERY_DATASET
+    prog = "trace" if tracing else "stats"
+    args = build_telemetry_arg_parser(prog, tracing).parse_args(
+        list(argv))
+    query_text = PAPER_QUERIES.get(args.query, args.query)
+
+    try:
+        engine = XFlux(query_text, mutable_source=args.mutable_source)
+        plan = engine.compile()
+    except Exception as exc:
+        print("error: {}".format(exc), file=err)
+        return 2
+
+    if args.input is not None:
+        text = _read_text(args.input)
+        events = _event_source(text, args.events, plan.needs_oids)
+    elif args.query in PAPER_QUERIES:
+        # Standalone mode: synthesize the query's benchmark dataset.
+        if QUERY_DATASET[args.query] == "D":
+            from .data.dblp import DBLPGenerator
+            text = DBLPGenerator(scale=args.scale).text()
+        else:
+            from .data.xmark import XMarkGenerator
+            text = XMarkGenerator(scale=args.scale).text()
+        events = _event_source(text, False, plan.needs_oids)
+    else:
+        text = _read_text(None)  # stdin
+        events = _event_source(text, args.events, plan.needs_oids)
+
+    from .xquery.engine import QueryRun
+    run = QueryRun(plan, metrics=True, trace=tracing,
+                   sample_interval=args.sample_interval)
+    try:
+        run.feed_all(events)
+        run.finish()
+    except Exception as exc:
+        print("error: {}".format(exc), file=err)
+        return 1
+
+    metrics = run.metrics()
+    if tracing:
+        payload = {
+            "query": args.query,
+            "query_text": query_text,
+            "result": run.text(),
+            "trace": metrics.pop("trace"),
+            "metrics": metrics,
+        }
+    else:
+        payload = {
+            "query": args.query,
+            "query_text": query_text,
+            "result": run.text(),
+            "metrics": metrics,
+            "per_stage": run.pipeline.stage_accounts(),
+        }
+    rendered = json.dumps(payload, indent=args.indent)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(args.out, file=out)
+    else:
+        print(rendered, file=out)
     return 0
 
 
@@ -157,6 +284,13 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
                     help="benchmark the multi-query executor instead "
                          "(sequential vs multiplexed vs sharded); writes "
                          "BENCH_multiquery.json")
+    ap.add_argument("--memory", action="store_true",
+                    help="record per-stage memory-footprint timelines "
+                         "and the freeze on/off ablation instead; "
+                         "writes BENCH_memory.json")
+    ap.add_argument("--sample-interval", type=int, default=512,
+                    help="source events between footprint samples for "
+                         "--memory (default 512)")
     ap.add_argument("--workers", type=int, default=None,
                     help="process count for the sharded mode (default: "
                          "usable CPUs)")
@@ -164,11 +298,17 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
 
 
 def bench_main(argv, out, err) -> int:
-    from .bench.record import write_bench_files, write_multiquery_file
+    from .bench.record import (write_bench_files, write_memory_file,
+                               write_multiquery_file)
     args = build_bench_arg_parser().parse_args(list(argv))
     queries = args.queries.split(",") if args.queries else None
     try:
-        if args.multiquery:
+        if args.memory:
+            paths = write_memory_file(
+                out_dir=args.out_dir, scale=args.scale,
+                queries=queries,
+                sample_interval=args.sample_interval, err=err)
+        elif args.multiquery:
             paths = write_multiquery_file(
                 out_dir=args.out_dir, scale=args.scale,
                 repeats=args.repeats, workers=args.workers,
@@ -213,6 +353,10 @@ def main(argv: Optional[Iterable[str]] = None,
         return bench_main(argv[1:], out, err)
     if argv and argv[0] == "analyze":
         return analyze_main(argv[1:], out, err)
+    if argv and argv[0] == "stats":
+        return telemetry_main(argv[1:], out, err, tracing=False)
+    if argv and argv[0] == "trace":
+        return telemetry_main(argv[1:], out, err, tracing=True)
     args = build_arg_parser().parse_args(argv)
 
     if args.query_file:
@@ -236,7 +380,8 @@ def main(argv: Optional[Iterable[str]] = None,
         return 2
 
     text = _read_text(input_path)
-    run = engine.start(sanitize=True if args.sanitize else None)
+    run = engine.start(sanitize=True if args.sanitize else None,
+                       metrics=True if args.metrics else None)
     shown: Optional[str] = None
     try:
         for event in _event_source(text, args.events, plan.needs_oids):
@@ -259,6 +404,11 @@ def main(argv: Optional[Iterable[str]] = None,
         print("transformer_calls={} state_cells={} stages={}".format(
             stats["transformer_calls"], stats["state_cells"],
             stats["stages"]), file=err)
+    if args.metrics:
+        import json
+        metrics = run.metrics()
+        if metrics is not None:
+            print(json.dumps(metrics, indent=2), file=err)
     return 0
 
 

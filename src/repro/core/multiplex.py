@@ -100,6 +100,10 @@ class EventMultiplexer:
             NestingGuard() if validate else None)
         self.events_in = 0
         self.batches = 0
+        #: Events handed to each consumer class (batch-level counters:
+        #: the telemetry layer reads these, the hot loop never branches).
+        self.raw_events_out = 0
+        self.stripped_events_out = 0
         self._finished = False
 
     def feed(self, event: Event) -> None:
@@ -123,8 +127,11 @@ class EventMultiplexer:
         if self._stripper is not None:
             stripper_feed = self._stripper.feed
             stripped = [out for e in batch for out in stripper_feed(e)]
+            self.stripped_events_out += (len(stripped)
+                                         * len(self._stripped_pipelines))
             for pipeline in self._stripped_pipelines:
                 pipeline.feed_batch(stripped)
+        self.raw_events_out += len(batch) * len(self._raw_pipelines)
         for pipeline in self._raw_pipelines:
             pipeline.feed_batch(batch)
 
@@ -146,6 +153,12 @@ class EventMultiplexer:
             "pipelines": len(self.runs),
             "events_in": self.events_in,
             "batches": self.batches,
+            "fanout": {
+                "raw_pipelines": len(self._raw_pipelines),
+                "stripped_pipelines": len(self._stripped_pipelines),
+                "raw_events_out": self.raw_events_out,
+                "stripped_events_out": self.stripped_events_out,
+            },
             "shared_strip": self._stripper is not None,
             "validated_events": (self.guard.events_checked
                                  if self.guard is not None else 0),

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from ..events.model import FREEZE, Event
+from ..events.model import FREEZE, UPDATE_STARTS, Event
 from .transformer import Context, StateTransformer
 from .wrapper import _FIRST_UPDATE, UpdateWrapper
 
 _FREEZE = int(FREEZE)
+_UPDATE_START_KINDS = frozenset(int(k) for k in UPDATE_STARTS)
 
 
 class Filter:
@@ -83,14 +84,26 @@ class Pipeline:
             :class:`~repro.events.errors.ProtocolViolation`.  Disables
             the routing fast path so every boundary sees its full
             stream.
+        recorder: an optional :class:`~repro.obs.MetricsRecorder`.  The
+            disabled path costs exactly one ``is None`` test per batch:
+            with no recorder the original drain runs untouched; with one
+            the instrumented twin (:meth:`_drain_observed`) runs
+            instead.  Recording never changes the output stream, the
+            routing decisions, or the per-stage call counts.
+        reclaim_on_freeze: Section V state reclamation (default on).
+            ``False`` is the bench memory ablation: freezes forward and
+            fix the mutability map as usual but state copies persist.
     """
 
     def __init__(self, ctx: Context, stages: Sequence[StateTransformer],
                  sink, always_active: bool = False,
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False, recorder=None,
+                 reclaim_on_freeze: bool = True) -> None:
         self.ctx = ctx
         self.wrappers: List[UpdateWrapper] = [
-            UpdateWrapper(t, always_active=always_active) for t in stages]
+            UpdateWrapper(t, always_active=always_active,
+                          reclaim_on_freeze=reclaim_on_freeze)
+            for t in stages]
         self.sink = sink
         # Per-stage kind-indexed handler tables, captured once: the batched
         # driver calls ``tables[idx][e.kind](e)`` instead of re-resolving
@@ -120,6 +133,9 @@ class Pipeline:
             self._routes = None
         else:
             self._checkers = None
+        self._recorder = recorder
+        if recorder is not None:
+            recorder.attach(self.wrappers, stages)
         self._finished = False
 
     def feed(self, e: Event) -> None:
@@ -134,6 +150,9 @@ class Pipeline:
         This recursive form is the reference implementation;
         :meth:`feed_batch` is the equivalent flattened driver.
         """
+        if self._recorder is not None:
+            self._drain_observed(0, (e,))
+            return
         self._dispatch(0, e)
 
     def _dispatch(self, idx: int, e: Event) -> None:
@@ -161,6 +180,9 @@ class Pipeline:
         its siblings, so a ``freeze`` can never overtake the ``hide``
         emitted just before it.
         """
+        if self._recorder is not None:
+            self._drain_observed(0, events)
+            return
         self._drain(0, events)
 
     def _drain(self, start_idx: int, events: Iterable[Event]) -> None:
@@ -228,6 +250,93 @@ class Pipeline:
                     break
                 idx, ev = pop()
 
+    def _drain_observed(self, start_idx: int,
+                        events: Iterable[Event]) -> None:
+        """Instrumented twin of :meth:`_drain` (telemetry enabled).
+
+        Identical control flow — routing, checkers, the LIFO stack, the
+        depth-first ordering invariant — plus per-stage event counting,
+        periodic footprint sampling (every ``sample_interval`` source
+        events), and optional update-provenance hops.  Kept as a
+        separate method so the unobserved hot path carries zero
+        telemetry cost; the differential tests hold the two drains
+        byte- and call-identical.
+        """
+        rec = self._recorder
+        stage_ms = rec.stages
+        sink_counts = rec.sink_counts
+        trace = rec.trace
+        tables = self._tables
+        routes = self._routes
+        checkers = self._checkers
+        n = len(tables)
+        sink_process = self.sink.process
+        fix_freeze = self.ctx.fix.freeze
+        counting_source = start_idx == 0
+        stack: List[tuple] = []
+        push = stack.append
+        pop = stack.pop
+        for e in events:
+            if counting_source and rec.count_source():
+                rec.sample_now()
+            idx = start_idx
+            ev = e
+            while True:
+                kind = ev.kind
+                if checkers is not None:
+                    if kind == _FREEZE:
+                        fix_freeze(ev.id)
+                    checkers[idx].feed(ev)
+                if routes is not None:
+                    if kind < _FIRST_UPDATE:
+                        key = ev.id
+                    elif kind >= _FREEZE:
+                        if kind == _FREEZE:
+                            fix_freeze(ev.id)
+                        key = ev.id
+                    elif kind & 1:
+                        key = ev.id
+                    else:
+                        key = ev.sub
+                    while idx < n and key not in routes[idx]:
+                        idx += 1
+                if idx < n:
+                    sm = stage_ms[idx]
+                    sm.in_counts[kind] += 1
+                    is_start = kind in _UPDATE_START_KINDS
+                    if trace is not None and is_start:
+                        trace.record(ev.sub, kind, idx, "enter")
+                    out = tables[idx][kind](ev)
+                    m = len(out)
+                    if m:
+                        out_counts = sm.out_counts
+                        for o in out:
+                            out_counts[o.kind] += 1
+                        if trace is not None and is_start:
+                            sub = ev.sub
+                            for o in out:
+                                if (o.kind in _UPDATE_START_KINDS
+                                        and o.sub != sub):
+                                    trace.record(sub, kind, idx,
+                                                 "translate",
+                                                 to_region=o.sub)
+                        idx += 1
+                        if m > 1:
+                            i = m - 1
+                            while i > 0:
+                                push((idx, out[i]))
+                                i -= 1
+                        ev = out[0]
+                        continue
+                else:
+                    sink_counts[kind] += 1
+                    if trace is not None and kind in _UPDATE_START_KINDS:
+                        trace.record(ev.sub, kind, -1, "emit")
+                    sink_process(ev)
+                if not stack:
+                    break
+                idx, ev = pop()
+
     def feed_all(self, events: Iterable[Event]) -> None:
         self.feed_batch(events)
 
@@ -236,14 +345,19 @@ class Pipeline:
         if self._finished:
             return
         self._finished = True
+        drain = (self._drain if self._recorder is None
+                 else self._drain_observed)
         for idx, w in enumerate(self.wrappers):
-            self._drain(idx + 1, w.on_end())
+            drain(idx + 1, w.on_end())
         finish = getattr(self.sink, "finish", None)
         if finish is not None:
             finish()
         if self._checkers is not None:
             for checker in self._checkers:
                 checker.finish()
+        if self._recorder is not None:
+            # Final footprint sample: end-of-stream state (post on_end).
+            self._recorder.sample_now()
 
     def run(self, events: Iterable[Event]):
         """Feed a complete stream, flush, and return the sink."""
@@ -257,12 +371,35 @@ class Pipeline:
         """Total state-transformer dispatches (the paper's ``events``)."""
         return sum(w.calls for w in self.wrappers)
 
+    def stage_accounts(self) -> List[dict]:
+        """Per-stage accounting: one dict per stage, source side first.
+
+        The single source of truth for state accounting —
+        :meth:`state_cells` and :meth:`live_regions` are sums over this
+        list, and the telemetry layer's footprint samples use the same
+        underlying :meth:`~repro.core.wrapper.UpdateWrapper.account`
+        walk, so every observer agrees on the numbers.
+        """
+        from ..obs.recorder import stage_identities
+        idents = stage_identities([w.t for w in self.wrappers])
+        accounts = []
+        for ident, w in zip(idents, self.wrappers):
+            cells, regions = w.account()
+            accounts.append({
+                "index": ident.index,
+                "label": ident.label,
+                "calls": w.calls,
+                "state_cells": cells,
+                "live_regions": regions,
+            })
+        return accounts
+
     def state_cells(self) -> int:
         """Retained transformer-state cells across all stages."""
-        return sum(w.state_cells() for w in self.wrappers)
+        return sum(a["state_cells"] for a in self.stage_accounts())
 
     def live_regions(self) -> int:
-        return sum(w.live_regions() for w in self.wrappers)
+        return sum(a["live_regions"] for a in self.stage_accounts())
 
 
 class Collector:

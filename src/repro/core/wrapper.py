@@ -130,8 +130,13 @@ class UpdateWrapper:
     disables the fast path (used by differential tests).
     """
 
+    #: Optional telemetry sink (a :class:`repro.obs.StageMetrics`),
+    #: attached by the recorder; ``None`` keeps every hook branch cold.
+    obs = None
+
     def __init__(self, transformer: StateTransformer,
-                 always_active: bool = False) -> None:
+                 always_active: bool = False,
+                 reclaim_on_freeze: bool = True) -> None:
         self.t = transformer
         self.ctx = transformer.ctx
         self.input_ids = frozenset(transformer.input_ids)
@@ -166,6 +171,12 @@ class UpdateWrapper:
         self.calls = 0
         self.peak_states = 1
         self._dormant = not always_active
+        #: Section V reclamation switch: with ``reclaim_on_freeze=False``
+        #: a freeze still forwards, still fixes the mutability map, but
+        #: keeps the region's state copies resident (the bench memory
+        #: ablation measures exactly this difference).
+        self._reclaim = reclaim_on_freeze
+        self._frozen_kept: set = set()
         # Sorted mirror of the non-None values in self.order, so the
         # between-timestamp searches are O(log n) instead of a full scan.
         self._order_sorted: List[_Rat] = []
@@ -285,6 +296,9 @@ class UpdateWrapper:
         """
         self._dormant = False
         self.handlers[:] = self._build_handler_table()
+        obs = self.obs
+        if obs is not None:
+            obs.on_activated()
         return self.handlers[e.kind](e)
 
     def _dormant_data(self, e: Event) -> List[Event]:
@@ -764,6 +778,11 @@ class UpdateWrapper:
             return []
         out: List[Event] = []
         if uid in self._regions or uid in self._alias_live:
+            if uid in self._frozen_kept:
+                # Ablation mode only: the region's state was kept, but a
+                # repeated freeze must behave exactly like the reclaiming
+                # path (the region is long gone there): plain forward.
+                return self.t.on_other(e)
             out = self._forward_toggle(e, uid)
             if not self.t.inert:
                 out.extend(self.t.on_region_frozen(uid))
@@ -775,6 +794,27 @@ class UpdateWrapper:
             self._save()
             if self._loaded == uid:
                 self._load_live()
+            obs = self.obs
+            if obs is not None:
+                reclaimed = 0
+                cells = self.t.state_cells
+                for m in (self.start, self.end, self.shadow):
+                    s = m.get(uid)
+                    if s is not None:
+                        reclaimed += cells(s)
+                obs.on_freeze(reclaimed)
+            if not self._reclaim:
+                # Freeze ablation: identical event output and mutability
+                # bookkeeping, but the state copies stay resident — the
+                # footprint a system without Section V's pruning pays.
+                self._frozen_kept.add(uid)
+                bs = self._bracket_stack
+                if bs:
+                    if bs[-1] == uid:
+                        bs.pop()
+                    elif uid in bs:
+                        bs.remove(uid)
+                return out
             self._regions.discard(uid)
             self._alias_live.discard(uid)
             self._untrack(uid)
@@ -941,6 +981,15 @@ class UpdateWrapper:
 
     def live_regions(self) -> int:
         return len(self._regions)
+
+    def account(self) -> tuple:
+        """``(state_cells, live_regions)`` in one call.
+
+        The single accounting walk every consumer shares — pipeline
+        totals, per-stage stats, and metrics samples all read state
+        through here, so the numbers can never disagree.
+        """
+        return self.state_cells(), self.live_regions()
 
     def __repr__(self) -> str:
         return "UpdateWrapper({!r})".format(self.t)

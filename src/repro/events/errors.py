@@ -23,6 +23,12 @@ class ProtocolViolation(ValueError):
             (e.g. ``"element-nesting"``, ``"update-bracket-match"``).
         stage: the pipeline stage or boundary where the violation was
             observed (``None`` for standalone sequence checks).
+        stage_index: 0-based index of the pipeline boundary — ``0`` is
+            source -> stage 0, ``n`` is the last stage -> sink (``None``
+            for standalone sequence checks).  Matches the ``index`` in
+            the telemetry layer's
+            :class:`~repro.obs.recorder.StageIdentity` labels, so a
+            violation joins against metrics / trace / analyze JSON.
         event: repr of the offending event (``None`` for end-of-stream
             violations).
         index: 0-based position of the offending event in the checked
@@ -34,9 +40,11 @@ class ProtocolViolation(ValueError):
                  stage: Optional[str] = None,
                  event: Optional[object] = None,
                  index: Optional[int] = None,
-                 stream: Optional[int] = None) -> None:
+                 stream: Optional[int] = None,
+                 stage_index: Optional[int] = None) -> None:
         self.rule = rule
         self.stage = stage
+        self.stage_index = stage_index
         self.event = None if event is None else repr(event)
         self.index = index
         self.stream = stream
@@ -46,6 +54,8 @@ class ProtocolViolation(ValueError):
             details.append("rule={}".format(rule))
         if stage is not None:
             details.append("at={}".format(stage))
+        if stage_index is not None:
+            details.append("boundary={}".format(stage_index))
         if self.event is not None:
             details.append("event={}".format(self.event))
         if index is not None:

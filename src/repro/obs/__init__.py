@@ -1,0 +1,32 @@
+"""Pipeline telemetry: per-stage metrics, footprint timelines, tracing.
+
+Opt-in observability over the update-stream pipeline, with a strict
+zero-overhead-when-disabled contract (see :mod:`repro.obs.recorder`).
+
+* :class:`MetricsRecorder` — per-stage event-flow counters, wrapper
+  life-cycle events, and memory-footprint time series;
+* :class:`TraceLog` — update-provenance hops (enter/translate/emit);
+* :func:`stage_identities` — the shared stage naming the sanitizer and
+  the static analyzer reuse;
+* :func:`merge_metrics` — recombine shard-worker recorder dicts.
+"""
+
+from .recorder import (EVENT_CLASSES, KIND_CLASS, NULL_RECORDER,
+                       MetricsRecorder, StageIdentity, StageMetrics,
+                       merge_metrics, metrics_default, stage_identities)
+from .trace import SINK_STAGE, Hop, TraceLog
+
+__all__ = [
+    "EVENT_CLASSES",
+    "KIND_CLASS",
+    "NULL_RECORDER",
+    "MetricsRecorder",
+    "StageIdentity",
+    "StageMetrics",
+    "merge_metrics",
+    "metrics_default",
+    "stage_identities",
+    "SINK_STAGE",
+    "Hop",
+    "TraceLog",
+]

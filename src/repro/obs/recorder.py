@@ -1,0 +1,291 @@
+"""Per-stage pipeline metrics: the observable side of Sections IV-V.
+
+The paper's central empirical claim is qualitative about *trajectories*
+— blocking operators are unblocked with a small memory footprint, and
+``freeze`` reclaims state mid-stream — yet end-of-run aggregates
+(total transformer calls, final state cells) cannot show either.  This
+module records what happens *while* the stream flows:
+
+* **per-stage event flow** — events in/out, classified as regular data,
+  update brackets (sU/eU), and control (freeze/hide/show);
+* **wrapper life cycle** — the dormant -> active transition of each
+  stage's :class:`~repro.core.wrapper.UpdateWrapper`, freezes observed,
+  and the state cells each freeze reclaimed;
+* **memory-footprint time series** — live state cells and open region
+  counts per stage, sampled every ``sample_interval`` source events
+  (plus one final sample at end-of-stream), giving the footprint
+  trajectory that ``BENCH_memory.json`` exports.
+
+**Zero overhead when disabled.**  A pipeline without a recorder runs
+the exact same batched drain loop as before — the *only* cost is one
+``is None`` test per batch when the driver picks the drain variant.
+No per-event branch, no null-object method calls on the hot path.  The
+:class:`MetricsRecorder` is attached at pipeline construction
+(``Pipeline(..., recorder=...)``, ``QueryRun(..., metrics=True)``, the
+``--metrics`` flag, or ``REPRO_METRICS=1``); the instrumented drain is
+a separate method used only then.
+
+Recorders serialize to plain dicts (:meth:`MetricsRecorder.to_dict`)
+so shard workers can ship them over the frame-protocol result pipe;
+:func:`merge_metrics` recombines worker dicts into the totals a
+single-process run would have produced (counters add, peaks combine,
+timelines stay per-pipeline).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from ..events.model import FREEZE, SHOW, SM
+
+_FIRST_UPDATE = int(SM)
+_FREEZE = int(FREEZE)
+_N_KINDS = int(SHOW) + 1
+
+#: Event-class labels, index-aligned with ``Kind`` values: regular data
+#: events, update brackets (sU/eU), control events (freeze/hide/show).
+KIND_CLASS = tuple(
+    "data" if k < _FIRST_UPDATE else
+    ("bracket" if k < _FREEZE else "control")
+    for k in range(_N_KINDS))
+
+EVENT_CLASSES = ("data", "bracket", "control")
+
+
+def metrics_default() -> bool:
+    """Opt into metrics recording via the REPRO_METRICS env variable."""
+    return os.environ.get("REPRO_METRICS", "") not in ("", "0")
+
+
+class StageIdentity:
+    """Stable identity of one pipeline stage, shared by every observer.
+
+    The telemetry layer, the protocol sanitizer, and the static plan
+    analyzer all need to name the same stage the same way; this is the
+    one place the naming lives.  ``label`` is the human-facing form
+    (``"PredicateFilter[2]"``), ``index`` the machine-facing one.
+    """
+
+    __slots__ = ("index", "name", "label", "transformer")
+
+    def __init__(self, index: int, transformer: object) -> None:
+        self.index = index
+        self.name = type(transformer).__name__
+        self.label = "{}[{}]".format(self.name, index)
+        self.transformer = repr(transformer)
+
+    def __repr__(self) -> str:
+        return "StageIdentity({})".format(self.label)
+
+
+def stage_identities(stages: Sequence) -> List[StageIdentity]:
+    """One :class:`StageIdentity` per transformer, in pipeline order."""
+    return [StageIdentity(i, t) for i, t in enumerate(stages)]
+
+
+class StageMetrics:
+    """Counters and the footprint timeline for one pipeline stage."""
+
+    __slots__ = ("identity", "in_counts", "out_counts", "activations",
+                 "activated_at", "freezes", "cells_reclaimed", "samples",
+                 "peak_cells", "peak_regions", "recorder")
+
+    def __init__(self, identity: StageIdentity,
+                 recorder: "MetricsRecorder") -> None:
+        self.identity = identity
+        self.recorder = recorder
+        #: Kind-indexed event counts crossing into / out of this stage.
+        self.in_counts = [0] * _N_KINDS
+        self.out_counts = [0] * _N_KINDS
+        self.activations = 0
+        #: Source-event sequence number at the dormant -> active flip.
+        self.activated_at: Optional[int] = None
+        self.freezes = 0
+        self.cells_reclaimed = 0
+        #: ``[source_seq, state_cells, live_regions]`` triples.
+        self.samples: List[List[int]] = []
+        self.peak_cells = 0
+        self.peak_regions = 0
+
+    # -- wrapper hooks (called from UpdateWrapper when obs is set) --------
+
+    def on_activated(self) -> None:
+        self.activations += 1
+        if self.activated_at is None:
+            self.activated_at = self.recorder.source_events
+
+    def on_freeze(self, cells_reclaimed: int) -> None:
+        self.freezes += 1
+        self.cells_reclaimed += cells_reclaimed
+
+    # -- sampling ---------------------------------------------------------
+
+    def sample(self, seq: int, cells: int, regions: int) -> None:
+        self.samples.append([seq, cells, regions])
+        if cells > self.peak_cells:
+            self.peak_cells = cells
+        if regions > self.peak_regions:
+            self.peak_regions = regions
+
+    # -- serialization ----------------------------------------------------
+
+    def _classed(self, counts: List[int]) -> Dict[str, int]:
+        by_class = dict.fromkeys(EVENT_CLASSES, 0)
+        for kind, n in enumerate(counts):
+            by_class[KIND_CLASS[kind]] += n
+        return by_class
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.identity.index,
+            "label": self.identity.label,
+            "events_in": self._classed(self.in_counts),
+            "events_out": self._classed(self.out_counts),
+            "activations": self.activations,
+            "activated_at": self.activated_at,
+            "freezes": self.freezes,
+            "cells_reclaimed": self.cells_reclaimed,
+            "peak_cells": self.peak_cells,
+            "peak_regions": self.peak_regions,
+            "samples": [list(s) for s in self.samples],
+        }
+
+
+class MetricsRecorder:
+    """Collects per-stage metrics for one pipeline run.
+
+    Args:
+        sample_interval: source events between footprint samples.  Each
+            sample walks every stage's retained state (the same walk
+            ``Pipeline.state_cells`` does), so small intervals trade
+            run time for timeline resolution.
+        trace: also record update-provenance hops (see
+            :mod:`repro.obs.trace`).
+    """
+
+    enabled = True
+
+    def __init__(self, sample_interval: int = 256,
+                 trace: bool = False) -> None:
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1, got {}"
+                             .format(sample_interval))
+        self.sample_interval = sample_interval
+        self.stages: List[StageMetrics] = []
+        self.source_events = 0
+        self.sink_counts = [0] * _N_KINDS
+        self._wrappers: Sequence = ()
+        self.tracing = trace
+        if trace:
+            from .trace import TraceLog
+            self.trace: Optional["TraceLog"] = TraceLog()
+        else:
+            self.trace = None
+
+    def attach(self, wrappers: Sequence, stages: Sequence) -> None:
+        """Bind to a pipeline's wrappers (called by ``Pipeline``)."""
+        identities = stage_identities(stages)
+        self.stages = [StageMetrics(ident, self) for ident in identities]
+        self._wrappers = tuple(wrappers)
+        for wrapper, sm in zip(wrappers, self.stages):
+            wrapper.obs = sm
+
+    # -- sampling ---------------------------------------------------------
+
+    def sample_now(self) -> None:
+        """Take one footprint sample of every attached stage."""
+        seq = self.source_events
+        for wrapper, sm in zip(self._wrappers, self.stages):
+            cells, regions = wrapper.account()
+            sm.sample(seq, cells, regions)
+
+    def count_source(self, n: int = 1) -> bool:
+        """Advance the source-event counter; True when a sample is due."""
+        before = self.source_events
+        self.source_events = before + n
+        return (before // self.sample_interval
+                != self.source_events // self.sample_interval)
+
+    # -- serialization ----------------------------------------------------
+
+    def sink_dict(self) -> Dict[str, int]:
+        by_class = dict.fromkeys(EVENT_CLASSES, 0)
+        for kind, n in enumerate(self.sink_counts):
+            by_class[KIND_CLASS[kind]] += n
+        return by_class
+
+    def to_dict(self) -> dict:
+        out = {
+            "sample_interval": self.sample_interval,
+            "source_events": self.source_events,
+            "sink_events": self.sink_dict(),
+            "stages": [sm.to_dict() for sm in self.stages],
+            "peak_cells_total": sum(sm.peak_cells for sm in self.stages),
+            "cells_reclaimed_total": sum(sm.cells_reclaimed
+                                         for sm in self.stages),
+            "freezes_total": sum(sm.freezes for sm in self.stages),
+            "activations_total": sum(sm.activations
+                                     for sm in self.stages),
+        }
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
+
+
+class _NullRecorder:
+    """Disabled-path sentinel: drivers test ``recorder is None`` or this
+    flag once per batch and never touch telemetry again."""
+
+    enabled = False
+    tracing = False
+
+    def __repr__(self) -> str:
+        return "NULL_RECORDER"
+
+
+NULL_RECORDER = _NullRecorder()
+
+
+def _sum_classed(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    return {k: a.get(k, 0) + b.get(k, 0) for k in EVENT_CLASSES}
+
+
+def merge_metrics(dicts: Sequence[dict]) -> dict:
+    """Combine recorder dicts from independent pipelines into totals.
+
+    Used by the sharded executor to reassemble per-worker metrics: the
+    merged counters equal what a single process running every pipeline
+    would report.  Stage lists are concatenated (stages of different
+    pipelines are distinct); classed event counts and reclaim counters
+    add; ``peak_cells_total`` adds (each pipeline's stages hold their
+    peaks concurrently); source-event counts take the maximum, because
+    every pipeline saw the same shared input stream.
+    """
+    merged = {
+        "sample_interval": None,
+        "source_events": 0,
+        "sink_events": dict.fromkeys(EVENT_CLASSES, 0),
+        "stages": [],
+        "peak_cells_total": 0,
+        "cells_reclaimed_total": 0,
+        "freezes_total": 0,
+        "activations_total": 0,
+        "pipelines": 0,
+    }
+    for d in dicts:
+        if d is None:
+            continue
+        # A worker may ship an already-merged dict; honour its count.
+        merged["pipelines"] += d.get("pipelines", 1)
+        if merged["sample_interval"] is None:
+            merged["sample_interval"] = d.get("sample_interval")
+        merged["source_events"] = max(merged["source_events"],
+                                      d.get("source_events", 0))
+        merged["sink_events"] = _sum_classed(merged["sink_events"],
+                                             d.get("sink_events", {}))
+        merged["stages"].extend(d.get("stages", ()))
+        for key in ("peak_cells_total", "cells_reclaimed_total",
+                    "freezes_total", "activations_total"):
+            merged[key] += d.get(key, 0)
+    return merged

@@ -223,7 +223,9 @@ class ShardedMultiQueryRun:
                  mutable_source: bool = False,
                  ignore_updates: bool = False,
                  validate: bool = False,
-                 always_active: bool = False) -> None:
+                 always_active: bool = False,
+                 metrics: Optional[bool] = None,
+                 sample_interval: int = 256) -> None:
         self.query_texts: List[str] = []
         for q in queries:
             if not isinstance(q, str):
@@ -238,11 +240,15 @@ class ShardedMultiQueryRun:
         engine_kwargs = dict(mutable_source=mutable_source,
                              ignore_updates=ignore_updates,
                              validate=validate,
-                             always_active=always_active)
+                             always_active=always_active,
+                             metrics=metrics,
+                             sample_interval=sample_interval)
         # Compile in the parent first: fail fast on a bad query before
         # any process is forked, and learn the stream metadata the
-        # tokenizer needs (oids, source stream number).
-        probe = MultiQueryRun(self.query_texts, **engine_kwargs)
+        # tokenizer needs (oids, source stream number).  The probe never
+        # runs, so it records nothing.
+        probe = MultiQueryRun(self.query_texts,
+                              **dict(engine_kwargs, metrics=False))
         self.needs_oids = probe.needs_oids
         self.source_id = probe.source_id
         self.shards_indices = shard_queries(len(self.query_texts),
@@ -360,7 +366,7 @@ class ShardedMultiQueryRun:
             cells += shard_stats["state_cells"]
             for local_i, orig_i in enumerate(shard.indices):
                 per_query[orig_i] = shard_stats["per_query"][local_i]
-        return {
+        out = {
             "queries": len(self.query_texts),
             "workers": len(self._shards),
             "mode": self.mode,
@@ -372,6 +378,26 @@ class ShardedMultiQueryRun:
             "state_cells": cells,
             "per_query": per_query,
         }
+        merged = self.metrics()
+        if merged is not None:
+            out["metrics"] = merged
+        return out
+
+    def metrics(self) -> Optional[dict]:
+        """Telemetry merged across shard workers (None when off).
+
+        Worker recorders serialize to plain dicts, travel home on the
+        result pipe inside each worker's stats payload, and are merged
+        here — the totals equal what a single-process
+        ``MultiQueryRun(..., metrics=True)`` over the same queries and
+        stream reports.
+        """
+        if self._results is None:
+            raise RuntimeError("metrics are available after finish()")
+        from ..obs import merge_metrics
+        dicts = [r["stats"]["metrics"] for r in self._results
+                 if r.get("stats") and "metrics" in r["stats"]]
+        return merge_metrics(dicts) if dicts else None
 
     def __repr__(self) -> str:
         return "ShardedMultiQueryRun({} queries, {} workers, {})".format(

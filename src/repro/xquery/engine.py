@@ -43,6 +43,11 @@ def _sanitize_default() -> bool:
     return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
+def _metrics_default() -> bool:
+    """Opt into telemetry recording via the REPRO_METRICS env variable."""
+    return os.environ.get("REPRO_METRICS", "") not in ("", "0")
+
+
 class QueryRun:
     """One live execution of a compiled query."""
 
@@ -52,15 +57,29 @@ class QueryRun:
                  track_snapshots: bool = False,
                  ignore_updates: bool = False,
                  always_active: bool = False,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 metrics: Optional[bool] = None,
+                 trace: bool = False,
+                 sample_interval: int = 256,
+                 reclaim_on_freeze: bool = True) -> None:
         if sanitize is None:
             sanitize = _sanitize_default()
+        if metrics is None:
+            metrics = _metrics_default()
         self.plan = plan
         self.display = Display(plan.result_id, on_change=on_change,
                                track_snapshots=track_snapshots)
+        if metrics or trace:
+            from ..obs import MetricsRecorder
+            self.recorder: Optional["MetricsRecorder"] = MetricsRecorder(
+                sample_interval=sample_interval, trace=trace)
+        else:
+            self.recorder = None
         self.pipeline = Pipeline(plan.ctx, plan.stages, self.display,
                                  always_active=always_active,
-                                 sanitize=sanitize)
+                                 sanitize=sanitize,
+                                 recorder=self.recorder,
+                                 reclaim_on_freeze=reclaim_on_freeze)
         from ..events.model import UpdateStripper
         self._stripper = UpdateStripper() if ignore_updates else None
 
@@ -94,14 +113,27 @@ class QueryRun:
         return self.display.events()
 
     def stats(self) -> dict:
-        """Execution metrics: transformer calls and retained state."""
-        return {
+        """Execution metrics: transformer calls and retained state.
+
+        ``per_stage`` breaks the aggregate counters down by stage (the
+        aggregates are exact sums over it); ``metrics`` appears when the
+        run has a telemetry recorder attached.
+        """
+        out = {
             "transformer_calls": self.pipeline.total_calls(),
             "state_cells": self.pipeline.state_cells(),
             "live_regions": self.pipeline.live_regions(),
             "display": self.display.stats(),
             "stages": len(self.pipeline.wrappers),
+            "per_stage": self.pipeline.stage_accounts(),
         }
+        if self.recorder is not None:
+            out["metrics"] = self.recorder.to_dict()
+        return out
+
+    def metrics(self) -> Optional[dict]:
+        """The telemetry recorder's dict, or None when recording is off."""
+        return None if self.recorder is None else self.recorder.to_dict()
 
 
 class MultiQueryRun:
@@ -136,7 +168,9 @@ class MultiQueryRun:
     def __init__(self, queries, mutable_source: bool = False,
                  ignore_updates: bool = False, validate: bool = False,
                  dedup: bool = True, always_active: bool = False,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 metrics: Optional[bool] = None,
+                 sample_interval: int = 256) -> None:
         from ..core.multiplex import EventMultiplexer
         self.engines = []
         for q in queries:
@@ -159,7 +193,9 @@ class MultiQueryRun:
                 self.runs.append(QueryRun(e.compile(),
                                           ignore_updates=e.ignore_updates,
                                           always_active=always_active,
-                                          sanitize=sanitize))
+                                          sanitize=sanitize,
+                                          metrics=metrics,
+                                          sample_interval=sample_interval))
             self._slots.append(slot)
         source_ids = {r.plan.source_id for r in self.runs}
         if len(source_ids) > 1:
@@ -220,7 +256,16 @@ class MultiQueryRun:
         stats["deduped"] = len(self._slots) - len(self.runs)
         stats["per_query"] = [stats["per_pipeline"][s]
                               for s in self._slots]
+        if any(r.recorder is not None for r in self.runs):
+            stats["metrics"] = self.metrics()
         return stats
+
+    def metrics(self) -> Optional[dict]:
+        """Merged telemetry across unique pipelines (None when off)."""
+        from ..obs import merge_metrics
+        dicts = [r.recorder.to_dict() for r in self.runs
+                 if r.recorder is not None]
+        return merge_metrics(dicts) if dicts else None
 
     def __repr__(self) -> str:
         return "MultiQueryRun({} queries, {} pipelines)".format(
@@ -261,12 +306,18 @@ class XFlux:
     def start(self, on_change: Optional[Callable[[Event, Display],
                                                  None]] = None,
               track_snapshots: bool = False,
-              sanitize: Optional[bool] = None) -> QueryRun:
+              sanitize: Optional[bool] = None,
+              metrics: Optional[bool] = None,
+              trace: bool = False,
+              sample_interval: int = 256,
+              reclaim_on_freeze: bool = True) -> QueryRun:
         """Begin a continuous run; feed it events as they arrive."""
         return QueryRun(self.compile(), on_change=on_change,
                         track_snapshots=track_snapshots,
                         ignore_updates=self.ignore_updates,
-                        sanitize=sanitize)
+                        sanitize=sanitize, metrics=metrics, trace=trace,
+                        sample_interval=sample_interval,
+                        reclaim_on_freeze=reclaim_on_freeze)
 
     def run(self, events: Iterable[Event], **kwargs) -> QueryRun:
         """Evaluate over a complete event stream."""

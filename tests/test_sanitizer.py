@@ -82,6 +82,26 @@ class TestSanitizedRuns:
             run.feed(Event(ES, plan.source_id))
         assert "source ->" in str(info.value)
         assert info.value.stage.startswith("source ->")
+        # Structured stage identity: index 0 is source -> stage 0, and
+        # the message reprints both the boundary and the event.
+        assert info.value.stage_index == 0
+        assert "boundary=0" in str(info.value)
+        assert "event=" in str(info.value)
+
+    def test_boundary_labels_use_stage_identities(self):
+        from repro.analysis import boundary_checkers
+        from repro.obs import stage_identities
+        plan = XFlux('X//item[location="x"]/name').compile()
+        checkers = boundary_checkers(plan.stages, sink=object())
+        labels = [ident.label for ident in
+                  stage_identities(plan.stages)]
+        assert len(checkers) == len(plan.stages) + 1
+        for i, checker in enumerate(checkers):
+            assert checker.stage_index == i
+            if i < len(labels):
+                assert checker.label.endswith(labels[i])
+            if i > 0:
+                assert checker.label.startswith(labels[i - 1])
 
 
 def _violation(events, rule):

@@ -1,0 +1,190 @@
+"""Update-provenance tracing tests.
+
+Hop-log invariants that must hold for *any* valid update stream, checked
+under hypothesis-generated ticker workloads:
+
+* global ``seq`` numbers are strictly increasing and monotonic
+  timestamps never run backwards;
+* within one region, hops are ordered source-side first: an ``enter``
+  at stage *i* never follows an ``enter`` at a later stage for the same
+  bracket instance, and ``emit`` (the sink) comes last in its chain;
+* every ``translate`` link's target region subsequently appears
+  downstream (the lineage is connected);
+* chains reassembled from the links start at source-born regions.
+
+Plus CLI smoke tests for ``python -m repro trace`` / ``stats`` /
+``analyze --json`` / ``--metrics``.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main as cli_main
+from repro.data.stock import StockTicker
+from repro.obs import SINK_STAGE, TraceLog
+from repro.xquery.engine import XFlux
+
+STOCK_QUERY = 'stream()//quote[name="IBM"]/price'
+
+
+def _traced_run(seed, n_updates=30, name_fraction=0.3):
+    events = StockTicker(n_updates=n_updates,
+                         name_update_fraction=name_fraction,
+                         seed=seed).events()
+    run = XFlux(STOCK_QUERY, mutable_source=True).run(
+        events, metrics=True, trace=True)
+    return run.recorder.trace
+
+
+class TestHopOrdering:
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_seq_and_time_monotonic(self, seed):
+        trace = _traced_run(seed)
+        seqs = [h.seq for h in trace.hops]
+        times = [h.t_ns for h in trace.hops]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_region_hops_flow_downstream(self, seed):
+        trace = _traced_run(seed)
+        for region, hops in trace.by_region().items():
+            stages = [h.stage for h in hops]
+            # The sink is the end of the pipe: nothing after an emit.
+            if SINK_STAGE in stages:
+                assert stages.index(SINK_STAGE) == len(stages) - 1
+            # Enter hops never revisit an earlier stage for one region
+            # instance (regions are fresh numbers; one pass each).
+            enters = [h.stage for h in hops if h.action == "enter"]
+            assert enters == sorted(enters)
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_translate_links_connected(self, seed):
+        trace = _traced_run(seed)
+        by_region = trace.by_region()
+        for link in trace.links():
+            assert link["to_region"] in by_region or any(
+                h.to_region == link["to_region"]
+                for h in trace.hops), link
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_chains_start_at_source_regions(self, seed):
+        trace = _traced_run(seed)
+        translated_to = {h.to_region for h in trace.hops
+                         if h.action == "translate"}
+        for chain in trace.chains():
+            assert chain[0] not in translated_to
+            assert len(chain) == len(set(chain))  # no cycles
+
+
+class TestTraceLogUnit:
+    def test_record_and_views(self):
+        log = TraceLog()
+        log.record(7, 9, 0, "enter")
+        log.record(7, 9, 0, "translate", to_region=8)
+        log.record(8, 9, 1, "enter")
+        log.record(8, 9, SINK_STAGE, "emit")
+        assert [h.seq for h in log.hops] == [0, 1, 2, 3]
+        assert set(log.by_region()) == {7, 8}
+        assert log.links() == [{"from_region": 7, "to_region": 8,
+                                "stage": 0, "seq": 1}]
+        assert log.chains() == [[7, 8]]
+        d = log.to_dict()
+        assert d["regions"] == 2 and len(d["hops"]) == 4
+
+    def test_tee_fanout_heads_multiple_chains(self):
+        log = TraceLog()
+        log.record(1, 9, 0, "translate", to_region=2)
+        log.record(1, 9, 1, "translate", to_region=3)
+        assert sorted(log.chains()) == [[1, 2], [1, 3]]
+
+    def test_cycle_defense(self):
+        log = TraceLog()
+        log.record(1, 9, 0, "translate", to_region=2)
+        log.record(2, 9, 1, "translate", to_region=1)
+        for chain in log.chains():
+            assert len(chain) == len(set(chain))
+
+
+class TestCLI:
+    def test_trace_subcommand_standalone(self):
+        out, err = io.StringIO(), io.StringIO()
+        rc = cli_main(["trace", "Q3"], out=out, err=err)
+        assert rc == 0, err.getvalue()
+        payload = json.loads(out.getvalue())
+        assert payload["query"] == "Q3"
+        assert payload["trace"]["hops"]
+        assert payload["metrics"]["stages"]
+
+    def test_stats_subcommand_standalone(self):
+        out, err = io.StringIO(), io.StringIO()
+        rc = cli_main(["stats", "Q1"], out=out, err=err)
+        assert rc == 0, err.getvalue()
+        payload = json.loads(out.getvalue())
+        assert payload["metrics"]["source_events"] > 0
+        assert payload["per_stage"]
+
+    def test_trace_out_file(self, tmp_path):
+        out, err = io.StringIO(), io.StringIO()
+        target = tmp_path / "trace.json"
+        rc = cli_main(["trace", "Q1", "--out", str(target)],
+                      out=out, err=err)
+        assert rc == 0, err.getvalue()
+        payload = json.loads(target.read_text())
+        assert payload["query"] == "Q1"
+        assert str(target) in out.getvalue()
+
+    def test_trace_with_input_document(self, tmp_path):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<root><item><location>Albania</location>"
+                       "<quantity>7</quantity></item></root>")
+        out, err = io.StringIO(), io.StringIO()
+        rc = cli_main(["trace", 'X//*[location="Albania"]/quantity',
+                       "--input", str(doc)], out=out, err=err)
+        assert rc == 0, err.getvalue()
+        payload = json.loads(out.getvalue())
+        assert "<quantity>7</quantity>" in payload["result"]
+
+    def test_run_with_metrics_flag(self, tmp_path):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<root><a>1</a><a>2</a></root>")
+        out, err = io.StringIO(), io.StringIO()
+        rc = cli_main(["count(X//a)", str(doc), "--metrics"],
+                      out=out, err=err)
+        assert rc == 0
+        assert out.getvalue().strip().startswith("2")
+        metrics = json.loads(err.getvalue())
+        assert metrics["source_events"] > 0
+
+    def test_analyze_json(self):
+        out, err = io.StringIO(), io.StringIO()
+        rc = cli_main(["analyze", "Q3", "--json"], out=out, err=err)
+        assert rc == 0, err.getvalue()
+        payload = json.loads(out.getvalue())
+        assert payload["plan"]["stages"] == len(payload["stages"])
+        assert all("label" in s and "memory" in s
+                   for s in payload["stages"])
+        assert "fix_map" in payload
+
+    def test_analyze_json_with_runtime_check(self, tmp_path):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<root><a>1</a></root>")
+        out, err = io.StringIO(), io.StringIO()
+        rc = cli_main(["analyze", "count(X//a)", "--json",
+                       "--input", str(doc)], out=out, err=err)
+        assert rc == 0, err.getvalue()
+        payload = json.loads(out.getvalue())
+        assert payload["runtime_check"]["agrees"] is True
+
+    def test_bad_query_fails_cleanly(self):
+        out, err = io.StringIO(), io.StringIO()
+        rc = cli_main(["stats", "X//["], out=out, err=err)
+        assert rc == 2
+        assert "error" in err.getvalue()
