@@ -1,0 +1,121 @@
+"""Fault-tolerance benchmark (``BENCH_fault.json``).
+
+Answers the question section 9 of DESIGN.md leaves open: what does
+recovery *cost*?  The same sharded workload runs twice, end-to-end from
+document text to final answers:
+
+* **clean** — :class:`~repro.parallel.ShardedMultiQueryRun` with no
+  fault plan (supervision armed but idle: checkpoints are still taken
+  and the frame journal still maintained, so this is the true steady
+  price of being recoverable);
+* **faulted** — the same run under a scripted fault plan (default: one
+  worker killed after three frames), forcing a restart plus journal
+  replay mid-stream.
+
+Per-query answers of both runs are compared byte-for-byte for every
+non-quarantined query — the recovery machinery's whole claim is that a
+worker death is *invisible* in the output — and the supervision
+counters (restarts, replayed frames, checkpoints, quarantines) are
+recorded next to the wall-clock overhead they bought.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..fault import FaultPlan
+from ..parallel import ShardedMultiQueryRun, available_workers
+from .harness import PAPER_QUERIES, QUERY_DATASET, Workloads
+from .multiquery import _dataset_groups
+
+DEFAULT_FAULT_PLAN = "kill:shard=0,after=3"
+
+
+def _run_once(workloads: Workloads, groups, texts: Dict[str, str],
+              workers: int, batch_events: int,
+              plan: Optional[FaultPlan]) -> Dict:
+    outputs: Dict[str, Optional[str]] = {}
+    statuses: Dict[str, str] = {}
+    counters = {"restarts": 0, "replayed_frames": 0, "checkpoints": 0,
+                "inline_takeovers": 0, "quarantined_queries": 0,
+                "duplicates_dropped": 0}
+    start = time.perf_counter()
+    for dataset, group in groups:
+        smq = ShardedMultiQueryRun(
+            [texts[n] for n in group], workers=workers,
+            batch_events=batch_events, fault_plan=plan)
+        smq.run_xml(workloads.text(dataset))
+        for n, answer, status in zip(group, smq.texts(), smq.statuses()):
+            outputs[n] = answer
+            statuses[n] = status
+        ft = smq.fault_stats()
+        for key in counters:
+            counters[key] += ft[key]
+    secs = time.perf_counter() - start
+    return {"secs": secs, "outputs": outputs, "statuses": statuses,
+            "counters": counters}
+
+
+def bench_fault(workloads: Workloads, repeats: int = 3,
+                workers: Optional[int] = None,
+                queries: Optional[Sequence[str]] = None,
+                batch_events: int = 256,
+                fault_plan: Optional[str] = None) -> Dict:
+    """Clean-versus-faulted sharded runs over the paper's query set.
+
+    ``batch_events`` defaults lower than the executor's 4096 so typical
+    bench datasets span enough frames for the scripted fault (and a
+    checkpoint or two) to actually land mid-stream.
+    """
+    names = list(queries) if queries is not None else list(PAPER_QUERIES)
+    texts = {name: PAPER_QUERIES[name] for name in names}
+    workers = workers if workers is not None else available_workers()
+    groups = _dataset_groups(names)
+    plan = FaultPlan.parse(fault_plan if fault_plan is not None
+                           else DEFAULT_FAULT_PLAN)
+
+    clean = faulted = None
+    for _ in range(repeats):
+        c = _run_once(workloads, groups, texts, workers, batch_events,
+                      None)
+        if clean is None or c["secs"] < clean["secs"]:
+            clean = c
+        f = _run_once(workloads, groups, texts, workers, batch_events,
+                      plan)
+        if faulted is None or f["secs"] < faulted["secs"]:
+            faulted = f
+
+    diverging = [n for n in names
+                 if faulted["statuses"][n] == "ok"
+                 and faulted["outputs"][n] != clean["outputs"][n]]
+    if diverging:
+        raise AssertionError(
+            "recovered outputs diverge from the clean run on {}"
+            .format(diverging))
+
+    return {
+        "workload": {"queries": names,
+                     "datasets": [d for d, _ in groups],
+                     "workers": workers,
+                     "batch_events": batch_events},
+        "fault_plan": plan.to_spec(),
+        "clean": {"secs": round(clean["secs"], 6),
+                  "counters": clean["counters"]},
+        "faulted": {
+            "secs": round(faulted["secs"], 6),
+            "counters": faulted["counters"],
+            "statuses": [faulted["statuses"][n] for n in names],
+            "overhead_vs_clean": round(
+                faulted["secs"] / clean["secs"], 3)
+            if clean["secs"] else None,
+        },
+        "surviving_outputs_identical": True,
+        # False means the plan never landed (e.g. the stream spans
+        # fewer frames than a kill threshold) — the comparison is then
+        # clean-vs-clean and says nothing about recovery cost.
+        "fault_effects_observed": any(
+            faulted["counters"][k] for k in
+            ("restarts", "replayed_frames", "inline_takeovers",
+             "quarantined_queries", "duplicates_dropped")),
+    }

@@ -35,6 +35,7 @@ QUERIES_JSON = "BENCH_queries.json"
 TOKENIZE_JSON = "BENCH_tokenize.json"
 MULTIQUERY_JSON = "BENCH_multiquery.json"
 MEMORY_JSON = "BENCH_memory.json"
+FAULT_JSON = "BENCH_fault.json"
 
 
 def _meta(workloads: Workloads, repeats: int) -> Dict:
@@ -157,6 +158,36 @@ def write_multiquery_file(out_dir: str = ".", scale: float = 0.1,
     if err is not None:
         print("wrote {}".format(path), file=err)
     return {MULTIQUERY_JSON: path}
+
+
+def write_fault_file(out_dir: str = ".", scale: float = 0.1,
+                     repeats: int = 3, workers: Optional[int] = None,
+                     queries: Optional[Sequence[str]] = None,
+                     fault_plan: Optional[str] = None,
+                     err=None) -> Dict[str, str]:
+    """Run the fault-tolerance benchmark; returns the file path.
+
+    Clean versus faulted sharded wall time, with the supervision
+    counters (restarts, replayed frames, checkpoints) that explain the
+    overhead.  The faulted run's surviving outputs are verified
+    byte-identical to the clean run before anything is written.
+    """
+    from ..parallel import available_workers
+    from .fault import bench_fault
+    os.makedirs(out_dir or ".", exist_ok=True)
+    workloads = Workloads(xmark_scale=scale, dblp_scale=scale)
+    payload = bench_fault(workloads, repeats=repeats, workers=workers,
+                          queries=queries, fault_plan=fault_plan)
+    payload = dict(
+        meta=dict(_meta(workloads, repeats), cpus=available_workers()),
+        **payload)
+    path = "{}/{}".format(out_dir.rstrip("/"), FAULT_JSON)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    if err is not None:
+        print("wrote {}".format(path), file=err)
+    return {FAULT_JSON: path}
 
 
 def write_memory_file(out_dir: str = ".", scale: float = 0.1,

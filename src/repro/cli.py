@@ -35,12 +35,20 @@ reachability (paper query names Q1..Q9 are accepted as shorthand):
     python -m repro analyze Q7 --input auction.xml
     python -m repro analyze Q3 --json
 
-and two telemetry subcommands that run a query with the observability
+two telemetry subcommands that run a query with the observability
 layer attached (paper query names synthesize their dataset when no
 input is given, so ``python -m repro trace Q3`` works standalone):
 
     python -m repro stats Q1                 # per-stage metrics JSON
     python -m repro trace Q3 --input doc.xml # update-provenance JSON
+
+and a chaos subcommand that runs a sharded multi-query workload under
+a scripted fault plan and proves the recovery machinery by byte-level
+differential against a clean run (see repro.fault for the spec
+grammar):
+
+    python -m repro chaos --fault-plan 'kill:shard=0,after=3'
+    python -m repro chaos --fault-plan 'corrupt:frame=5' --report-dir ci
 """
 
 from __future__ import annotations
@@ -266,6 +274,123 @@ def telemetry_main(argv, out, err, tracing: bool) -> int:
     return 0
 
 
+def build_chaos_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Differential recovery proof: run a sharded "
+                    "multi-query workload clean and again under a "
+                    "fault plan, then verify every surviving query's "
+                    "output is byte-identical.  Exits non-zero only "
+                    "when ALL queries fail or a survivor's output "
+                    "diverges.")
+    ap.add_argument("--fault-plan", required=True,
+                    help="fault spec, e.g. 'kill:shard=0,after=3' or "
+                         "'corrupt:frame=5;raise:query=1,stage=0,at=99' "
+                         "(see repro.fault for the grammar)")
+    ap.add_argument("--queries", default="Q1,Q2,Q5,Q7",
+                    help="comma-separated paper query names or query "
+                         "texts (default: Q1,Q2,Q5,Q7)")
+    ap.add_argument("--input",
+                    help="XML document to run over ('-' for stdin; "
+                         "default: a synthesized XMark dataset)")
+    ap.add_argument("--scale", type=float, default=0.05,
+                    help="scale of the synthesized dataset when no "
+                         "--input is given (default 0.05)")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="shard worker count (default 2)")
+    ap.add_argument("--batch-events", type=int, default=256,
+                    help="events per broadcast frame (default 256, low "
+                         "so faults land mid-stream)")
+    ap.add_argument("--mutable-source", action="store_true",
+                    help="the queries treat the input as mutable")
+    ap.add_argument("--report-dir",
+                    help="also write chaos_report.json (and one "
+                         "quarantine report file per failed query) "
+                         "into this directory")
+    ap.add_argument("--indent", type=int, default=2,
+                    help="JSON indentation (default 2)")
+    return ap
+
+
+def chaos_main(argv, out, err) -> int:
+    """``python -m repro chaos``: scripted-fault differential runner."""
+    import json
+    import os
+    from .bench.harness import PAPER_QUERIES
+    from .fault import FaultPlan
+    from .parallel import ShardedMultiQueryRun
+    args = build_chaos_arg_parser().parse_args(list(argv))
+    try:
+        plan = FaultPlan.parse(args.fault_plan)
+    except ValueError as exc:
+        print("error: {}".format(exc), file=err)
+        return 2
+    names = [q.strip() for q in args.queries.split(",") if q.strip()]
+    queries = [PAPER_QUERIES.get(n, n) for n in names]
+    if args.input is not None:
+        text = _read_text(args.input)
+    else:
+        from .data.xmark import XMarkGenerator
+        text = XMarkGenerator(scale=args.scale).text()
+
+    def run(fault_plan):
+        smq = ShardedMultiQueryRun(
+            queries, workers=args.workers,
+            batch_events=args.batch_events,
+            mutable_source=args.mutable_source,
+            fault_plan=fault_plan)
+        smq.run_xml(text)
+        return smq
+
+    try:
+        clean = run(None)
+        faulted = run(plan)
+    except Exception as exc:
+        print("error: {}".format(exc), file=err)
+        return 1
+
+    statuses = faulted.statuses()
+    survivors_match = [
+        None if status != "ok"
+        else faulted.texts()[i] == clean.texts()[i]
+        for i, status in enumerate(statuses)]
+    diverged = [names[i] for i, m in enumerate(survivors_match)
+                if m is False]
+    all_failed = all(s != "ok" for s in statuses)
+    report = {
+        "fault_plan": plan.to_spec(),
+        "queries": names,
+        "statuses": statuses,
+        "survivors_byte_identical": not diverged,
+        "diverged": diverged,
+        "fault_tolerance": faulted.fault_stats(),
+        "error_reports": {names[i]: r for i, r
+                          in faulted.error_reports().items()},
+    }
+    rendered = json.dumps(report, indent=args.indent)
+    print(rendered, file=out)
+    if args.report_dir:
+        os.makedirs(args.report_dir, exist_ok=True)
+        base = args.report_dir.rstrip("/")
+        with open("{}/chaos_report.json".format(base), "w") as handle:
+            handle.write(rendered + "\n")
+        for i, rep in faulted.error_reports().items():
+            path = "{}/quarantine_query_{}.json".format(base, i)
+            with open(path, "w") as handle:
+                json.dump({"query": names[i], "report": rep}, handle,
+                          indent=args.indent)
+                handle.write("\n")
+    if diverged:
+        print("error: surviving queries diverged: {}".format(
+            ", ".join(diverged)), file=err)
+        return 1
+    if all_failed:
+        print("error: all {} queries failed under the fault plan"
+              .format(len(names)), file=err)
+        return 1
+    return 0
+
+
 def build_bench_arg_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro bench",
@@ -294,16 +419,27 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--workers", type=int, default=None,
                     help="process count for the sharded mode (default: "
                          "usable CPUs)")
+    ap.add_argument("--fault", action="store_true",
+                    help="benchmark recovery cost instead: clean vs "
+                         "faulted sharded runs; writes BENCH_fault.json")
+    ap.add_argument("--fault-plan",
+                    help="fault spec for --fault (default: "
+                         "kill:shard=0,after=3; see repro.fault)")
     return ap
 
 
 def bench_main(argv, out, err) -> int:
-    from .bench.record import (write_bench_files, write_memory_file,
-                               write_multiquery_file)
+    from .bench.record import (write_bench_files, write_fault_file,
+                               write_memory_file, write_multiquery_file)
     args = build_bench_arg_parser().parse_args(list(argv))
     queries = args.queries.split(",") if args.queries else None
     try:
-        if args.memory:
+        if args.fault or args.fault_plan:
+            paths = write_fault_file(
+                out_dir=args.out_dir, scale=args.scale,
+                repeats=args.repeats, workers=args.workers,
+                queries=queries, fault_plan=args.fault_plan, err=err)
+        elif args.memory:
             paths = write_memory_file(
                 out_dir=args.out_dir, scale=args.scale,
                 queries=queries,
@@ -321,6 +457,9 @@ def bench_main(argv, out, err) -> int:
     except KeyError as exc:
         print("error: unknown query {} (expected Q1..Q9)".format(exc),
               file=err)
+        return 2
+    except ValueError as exc:
+        print("error: {}".format(exc), file=err)
         return 2
     except OSError as exc:
         print("error: {}".format(exc), file=err)
@@ -351,6 +490,8 @@ def main(argv: Optional[Iterable[str]] = None,
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "bench":
         return bench_main(argv[1:], out, err)
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:], out, err)
     if argv and argv[0] == "analyze":
         return analyze_main(argv[1:], out, err)
     if argv and argv[0] == "stats":

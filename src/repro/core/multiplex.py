@@ -86,18 +86,33 @@ class EventMultiplexer:
             stripped stream instead of running its own stripper.
         validate: install a shared :class:`NestingGuard` on the raw
             input.
+        quarantine: isolate pipeline failures.  An exception escaping
+            one pipeline (an operator bug, an injected fault, a
+            :class:`~repro.events.errors.ProtocolViolation` from that
+            pipeline's sanitizer) detaches *that* pipeline from the
+            fan-out and records a captured error report; the siblings
+            keep running.  Failures of the shared input guard stay
+            fatal — a malformed source invalidates every consumer.
+            With ``quarantine=False`` the first pipeline exception
+            propagates (the pre-fault-tolerance behaviour).
     """
 
-    def __init__(self, runs: Sequence, validate: bool = False) -> None:
+    def __init__(self, runs: Sequence, validate: bool = False,
+                 quarantine: bool = False) -> None:
         self.runs = list(runs)
-        self._raw_pipelines = [r.pipeline for r in self.runs
+        self._raw_pipelines = [(i, r.pipeline)
+                               for i, r in enumerate(self.runs)
                                if r._stripper is None]
-        self._stripped_pipelines = [r.pipeline for r in self.runs
+        self._stripped_pipelines = [(i, r.pipeline)
+                                    for i, r in enumerate(self.runs)
                                     if r._stripper is not None]
         self._stripper: Optional[UpdateStripper] = (
             UpdateStripper() if self._stripped_pipelines else None)
         self.guard: Optional[NestingGuard] = (
             NestingGuard() if validate else None)
+        self.quarantine = quarantine
+        #: run index -> captured error report (see repro.fault).
+        self.quarantined: Dict[int, dict] = {}
         self.events_in = 0
         self.batches = 0
         #: Events handed to each consumer class (batch-level counters:
@@ -108,6 +123,16 @@ class EventMultiplexer:
 
     def feed(self, event: Event) -> None:
         self.feed_batch((event,))
+
+    def _quarantine(self, run_index: int, exc: BaseException) -> None:
+        from ..fault import error_report
+        self.quarantined[run_index] = error_report(
+            exc, run_index=run_index, events_in=self.events_in)
+        self._raw_pipelines = [(i, p) for i, p in self._raw_pipelines
+                               if i != run_index]
+        self._stripped_pipelines = [(i, p)
+                                    for i, p in self._stripped_pipelines
+                                    if i != run_index]
 
     def feed_batch(self, events: Iterable[Event]) -> None:
         """Fan one input batch out to every pipeline.
@@ -124,16 +149,31 @@ class EventMultiplexer:
         self.batches += 1
         if self.guard is not None:
             self.guard.check_batch(batch)
+        quarantine = self.quarantine
         if self._stripper is not None:
             stripper_feed = self._stripper.feed
             stripped = [out for e in batch for out in stripper_feed(e)]
             self.stripped_events_out += (len(stripped)
                                          * len(self._stripped_pipelines))
-            for pipeline in self._stripped_pipelines:
-                pipeline.feed_batch(stripped)
+            if quarantine:
+                for i, pipeline in list(self._stripped_pipelines):
+                    try:
+                        pipeline.feed_batch(stripped)
+                    except Exception as exc:
+                        self._quarantine(i, exc)
+            else:
+                for _, pipeline in self._stripped_pipelines:
+                    pipeline.feed_batch(stripped)
         self.raw_events_out += len(batch) * len(self._raw_pipelines)
-        for pipeline in self._raw_pipelines:
-            pipeline.feed_batch(batch)
+        if quarantine:
+            for i, pipeline in list(self._raw_pipelines):
+                try:
+                    pipeline.feed_batch(batch)
+                except Exception as exc:
+                    self._quarantine(i, exc)
+        else:
+            for _, pipeline in self._raw_pipelines:
+                pipeline.feed_batch(batch)
 
     def finish(self) -> None:
         if self._finished:
@@ -141,8 +181,16 @@ class EventMultiplexer:
         self._finished = True
         if self.guard is not None:
             self.guard.finish()
-        for run in self.runs:
-            run.finish()
+        for i, run in enumerate(self.runs):
+            if i in self.quarantined:
+                continue
+            if self.quarantine:
+                try:
+                    run.finish()
+                except Exception as exc:
+                    self._quarantine(i, exc)
+            else:
+                run.finish()
 
     # -- accounting ----------------------------------------------------------
 

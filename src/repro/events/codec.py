@@ -28,18 +28,66 @@ Wire layout, little-endian throughout:
   its end-of-stream marker).  :func:`read_frame` distinguishes a clean
   end of the stream (``None``) from truncation mid-frame
   (:class:`CodecError`).
+
+* **Checked frame** (format v2): the high bit of the length word is set
+  (:data:`CHECKED_FLAG`), and the payload is preceded by a ``<I`` frame
+  sequence number and followed by a ``<I`` CRC32 trailer covering the
+  sequence number and the payload.  The reader verifies the CRC and
+  surfaces the sequence number, turning silent corruption into a
+  structured :class:`CodecError` (``reason="crc-mismatch"``) the shard
+  supervisor converts into a worker restart + replay, and giving
+  receivers the gap/duplicate discipline replay depends on.  Both
+  readers (:func:`read_frame` / :func:`read_frame_ex`) accept both
+  formats, so v1 frames written by older producers still decode.
+
+Every :class:`CodecError` carries machine-readable fields — ``reason``,
+``offset`` (byte position in the stream), ``expected`` and ``got`` —
+so supervisors and tests can branch on the failure class instead of
+parsing messages.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import BinaryIO, Iterable, Iterator, List, Optional, Tuple
 
 from .model import (CD, EE, SE, UPDATE_ENDS, UPDATE_STARTS, Event, Kind)
 
 
 class CodecError(ValueError):
-    """Raised on malformed or truncated binary event data."""
+    """Raised on malformed or truncated binary event data.
+
+    Attributes:
+        reason: machine-readable failure class (``"truncated"``,
+            ``"crc-mismatch"``, ``"trailing-garbage"``, ``"bad-kind"``,
+            ``"oversized"``, ``"unencodable"``).
+        offset: byte offset in the stream/buffer where the failure was
+            detected (``None`` when unknown).
+        expected: the byte count or value the reader wanted.
+        got: what it actually found.
+    """
+
+    def __init__(self, message: str, reason: Optional[str] = None,
+                 offset: Optional[int] = None,
+                 expected: Optional[object] = None,
+                 got: Optional[object] = None) -> None:
+        self.reason = reason
+        self.offset = offset
+        self.expected = expected
+        self.got = got
+        details = []
+        if reason is not None:
+            details.append("reason={}".format(reason))
+        if offset is not None:
+            details.append("offset={}".format(offset))
+        if expected is not None:
+            details.append("expected={!r}".format(expected))
+        if got is not None:
+            details.append("got={!r}".format(got))
+        if details:
+            message = "{} [{}]".format(message, ", ".join(details))
+        super().__init__(message)
 
 
 _OID_FLAG = 0x20
@@ -75,12 +123,14 @@ def encode_event(e: Event) -> bytes:
         else:
             head = _HDR_ID.pack(hdr, e.id)
     except (struct.error, AttributeError) as exc:
-        raise CodecError("cannot encode {!r}: {}".format(e, exc))
+        raise CodecError("cannot encode {!r}: {}".format(e, exc),
+                         reason="unencodable")
     if e.oid is not None:
         try:
             return head + _OID.pack(e.oid)
         except struct.error as exc:
-            raise CodecError("cannot encode oid of {!r}: {}".format(e, exc))
+            raise CodecError("cannot encode oid of {!r}: {}".format(e, exc),
+                             reason="unencodable")
     return head
 
 
@@ -89,11 +139,12 @@ def decode_event(buf: bytes, pos: int = 0) -> Tuple[Event, int]:
     try:
         hdr = buf[pos]
     except IndexError:
-        raise CodecError("truncated event at offset {}".format(pos))
+        raise CodecError("truncated event", reason="truncated",
+                         offset=pos, expected=1, got=0)
     kind_val = hdr & _KIND_MASK
     if kind_val not in _VALID_KINDS:
-        raise CodecError(
-            "unknown event kind {} at offset {}".format(kind_val, pos))
+        raise CodecError("unknown event kind", reason="bad-kind",
+                         offset=pos, got=kind_val)
     kind = Kind(kind_val)
     sub = tag = text = oid = None
     try:
@@ -123,9 +174,10 @@ def decode_event(buf: bytes, pos: int = 0) -> Tuple[Event, int]:
             (oid,) = _OID.unpack_from(buf, pos)
             pos += _OID.size
     except struct.error:
-        raise CodecError("truncated event at offset {}".format(pos))
+        raise CodecError("truncated event", reason="truncated", offset=pos)
     except UnicodeDecodeError as exc:
-        raise CodecError("invalid UTF-8 in event: {}".format(exc))
+        raise CodecError("invalid UTF-8 in event: {}".format(exc),
+                         reason="truncated", offset=pos)
     return Event(kind, id_, sub=sub, tag=tag, text=text, oid=oid), pos
 
 
@@ -138,7 +190,8 @@ def encode_batch(events: Iterable[Event]) -> bytes:
 def decode_batch(payload: bytes) -> List[Event]:
     """Unpack a payload produced by :func:`encode_batch`."""
     if len(payload) < _U32.size:
-        raise CodecError("truncated batch header")
+        raise CodecError("truncated batch header", reason="truncated",
+                         offset=0, expected=_U32.size, got=len(payload))
     (count,) = _U32.unpack_from(payload, 0)
     pos = _U32.size
     out: List[Event] = []
@@ -147,51 +200,119 @@ def decode_batch(payload: bytes) -> List[Event]:
         out.append(e)
     if pos != len(payload):
         raise CodecError(
-            "{} trailing bytes after {} events".format(
-                len(payload) - pos, count))
+            "trailing garbage after the declared {} events".format(count),
+            reason="trailing-garbage", offset=pos,
+            expected=pos, got=len(payload))
     return out
 
 
 # -- framed pipe transport ---------------------------------------------------
 
+#: High bit of the frame length word: marks a v2 (seq + CRC32) frame.
+CHECKED_FLAG = 0x80000000
+_LEN_MASK = CHECKED_FLAG - 1
+
+
 def encode_frame(events: Iterable[Event]) -> bytes:
-    """A complete length-prefixed frame holding one event batch."""
+    """A complete length-prefixed v1 frame holding one event batch."""
     payload = encode_batch(events)
     return _U32.pack(len(payload)) + payload
 
 
+def encode_checked_frame(events: Iterable[Event], seq: int) -> bytes:
+    """A v2 frame: flagged length, sequence number, payload, CRC32."""
+    return frame_checked(encode_batch(events), seq)
+
+
+def frame_checked(payload: bytes, seq: int) -> bytes:
+    """Wrap an already-encoded batch payload as a v2 checked frame."""
+    if len(payload) > _LEN_MASK:
+        raise CodecError("frame payload too large",
+                         reason="oversized", expected=_LEN_MASK,
+                         got=len(payload))
+    seq_bytes = _U32.pack(seq)
+    crc = zlib.crc32(payload, zlib.crc32(seq_bytes))
+    return (_U32.pack(len(payload) | CHECKED_FLAG) + seq_bytes
+            + payload + _U32.pack(crc))
+
+
 def write_frame(stream: BinaryIO, payload: bytes) -> None:
-    """Write one length-prefixed frame (payload may be empty)."""
+    """Write one length-prefixed v1 frame (payload may be empty)."""
     stream.write(_U32.pack(len(payload)))
     stream.write(payload)
 
 
 def read_frame(stream: BinaryIO) -> Optional[bytes]:
-    """Read one frame; ``None`` on clean EOF at a frame boundary.
+    """Read one frame (either format); ``None`` on clean EOF.
 
-    Raises :class:`CodecError` when the stream ends mid-frame.
+    Checked frames are CRC-verified and their sequence number is
+    discarded; use :func:`read_frame_ex` to observe it.  Raises
+    :class:`CodecError` when the stream ends mid-frame or a CRC fails.
     """
-    header = _read_exact(stream, _U32.size, allow_eof=True)
+    result = read_frame_ex(stream)
+    return None if result is None else result[1]
+
+
+def read_frame_ex(stream: BinaryIO, offset: int = 0
+                  ) -> Optional[Tuple[Optional[int], bytes, int]]:
+    """Read one frame of either format, tracking byte offsets.
+
+    Returns ``(seq, payload, next_offset)`` — ``seq`` is ``None`` for
+    v1 frames — or ``None`` on clean EOF at a frame boundary.  ``offset``
+    is the caller's running byte position, echoed into error fields and
+    advanced in the return value.
+    """
+    header = _read_exact(stream, _U32.size, allow_eof=True, offset=offset)
     if header is None:
         return None
-    (length,) = _U32.unpack(header)
-    if length == 0:
-        return b""
-    payload = _read_exact(stream, length, allow_eof=False)
-    return payload
+    (word,) = _U32.unpack(header)
+    pos = offset + _U32.size
+    if not word & CHECKED_FLAG:
+        if word == 0:
+            return None, b"", pos
+        payload = _read_exact(stream, word, allow_eof=False, offset=pos)
+        return None, payload, pos + word
+    length = word & _LEN_MASK
+    body = _read_exact(stream, _U32.size + length + _U32.size,
+                       allow_eof=False, offset=pos)
+    (seq,) = _U32.unpack_from(body, 0)
+    payload = body[_U32.size:_U32.size + length]
+    (crc_stored,) = _U32.unpack_from(body, _U32.size + length)
+    crc_actual = zlib.crc32(payload, zlib.crc32(body[:_U32.size]))
+    if crc_actual != crc_stored:
+        raise CodecError(
+            "frame {} failed its CRC32 check".format(seq),
+            reason="crc-mismatch", offset=offset,
+            expected=crc_stored, got=crc_actual)
+    return seq, payload, pos + len(body)
 
 
 def iter_frames(stream: BinaryIO) -> Iterator[bytes]:
     """Yield frame payloads until clean EOF or an empty (sentinel) frame."""
-    while True:
-        payload = read_frame(stream)
-        if payload is None or payload == b"":
-            return
+    for _, payload in iter_frames_ex(stream):
         yield payload
 
 
-def _read_exact(stream: BinaryIO, n: int,
-                allow_eof: bool) -> Optional[bytes]:
+def iter_frames_ex(stream: BinaryIO
+                   ) -> Iterator[Tuple[Optional[int], bytes]]:
+    """Yield ``(seq, payload)`` pairs until EOF or a sentinel frame.
+
+    Maintains a running byte offset so truncation and CRC errors report
+    exactly where in the stream they happened.
+    """
+    offset = 0
+    while True:
+        result = read_frame_ex(stream, offset=offset)
+        if result is None:
+            return
+        seq, payload, offset = result
+        if not payload:
+            return
+        yield seq, payload
+
+
+def _read_exact(stream: BinaryIO, n: int, allow_eof: bool,
+                offset: int = 0) -> Optional[bytes]:
     chunks: List[bytes] = []
     got = 0
     while got < n:
@@ -199,8 +320,9 @@ def _read_exact(stream: BinaryIO, n: int,
         if not chunk:
             if allow_eof and got == 0:
                 return None
-            raise CodecError(
-                "stream truncated: wanted {} bytes, got {}".format(n, got))
+            raise CodecError("stream truncated mid-frame",
+                             reason="truncated", offset=offset + got,
+                             expected=n, got=got)
         chunks.append(chunk)
         got += len(chunk)
     return chunks[0] if len(chunks) == 1 else b"".join(chunks)

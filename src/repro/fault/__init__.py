@@ -1,0 +1,31 @@
+"""Fault tolerance: checkpoints, fault injection, recovery proofs.
+
+Two halves:
+
+* :mod:`repro.fault.checkpoint` — versioned envelopes around pickled
+  pipeline state; the format worker processes use to ship periodic
+  snapshots to the supervising parent, and the format
+  ``Pipeline.checkpoint()`` / ``MultiQueryRun.checkpoint()`` expose to
+  embedders.
+* :mod:`repro.fault.inject` — seeded :class:`FaultPlan` scripts (kill a
+  worker, corrupt/drop/duplicate a frame, raise inside a stage) that the
+  tests, the chaos CLI and the benchmark use to force every recovery
+  path to actually run.
+
+The supervision machinery that consumes both lives in
+:mod:`repro.parallel.shard`; quarantine of individual failing queries
+lives in :mod:`repro.core.multiplex` and
+:class:`~repro.xquery.engine.MultiQueryRun`.
+"""
+
+from .checkpoint import (CheckpointError, decode_checkpoint,
+                         encode_checkpoint, require_schema)
+from .inject import (FaultAction, FaultPlan, InjectedFault,
+                     arm_stage_fault, error_report)
+
+__all__ = [
+    "CheckpointError", "encode_checkpoint", "decode_checkpoint",
+    "require_schema",
+    "FaultPlan", "FaultAction", "InjectedFault", "arm_stage_fault",
+    "error_report",
+]

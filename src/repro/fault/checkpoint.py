@@ -1,0 +1,101 @@
+"""Versioned checkpoint envelopes for pipeline state snapshots.
+
+A checkpoint is a self-describing byte string: a magic prefix, a format
+version, a *kind* tag naming what was snapshotted (``"pipeline"``,
+``"queryrun"``, ``"multiquery"``), a small schema dict used as a
+structural guard at restore time, and the pickled state itself.  The
+envelope exists so a restore can fail with a precise
+:class:`CheckpointError` — wrong magic, unsupported version, kind
+mismatch, schema mismatch — instead of unpickling garbage into a live
+pipeline.
+
+The payload is a pickle of the live runtime objects (wrappers, region
+tables, display trees, shared context).  Pickle memoization preserves
+the aliasing the runtime depends on — the display *is* the pipeline
+sink, wrappers share one ``Context``, deduplicated queries share one
+pipeline — so a restored graph has exactly the object identities of the
+original.  Everything reachable from a run is plain Python by
+construction (the one historic exception, the fused predicate's lambda
+tests, was replaced by picklable callables for exactly this reason).
+
+Checkpoints are process-local and version-locked: they are an IPC and
+recovery format for workers of the same interpreter (see
+:mod:`repro.parallel.shard`), not a durable cross-host archive format.
+DESIGN.md §9 spells out what is and is not covered.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Tuple
+
+MAGIC = b"XFCK"
+VERSION = 1
+
+#: Kinds the current code base writes; decode rejects unknown kinds.
+KNOWN_KINDS = ("pipeline", "queryrun", "multiquery")
+
+
+class CheckpointError(ValueError):
+    """A checkpoint blob cannot be restored (format or schema mismatch)."""
+
+
+def encode_checkpoint(kind: str, schema: dict, state: object) -> bytes:
+    """Wrap ``state`` in a versioned envelope.
+
+    ``schema`` is a small dict of structural facts about the snapshotted
+    object (stage class names, query texts, ...).  It is stored next to
+    the state and compared by the restoring side before the state is
+    touched.
+    """
+    if kind not in KNOWN_KINDS:
+        raise CheckpointError("unknown checkpoint kind {!r}".format(kind))
+    try:
+        payload = pickle.dumps({"kind": kind, "schema": schema,
+                                "state": state},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            "checkpoint state is not picklable: {}: {}".format(
+                type(exc).__name__, exc))
+    return MAGIC + bytes([VERSION]) + payload
+
+
+def decode_checkpoint(blob: bytes, kind: str) -> Tuple[dict, object]:
+    """Unwrap an envelope; returns ``(schema, state)``.
+
+    Raises :class:`CheckpointError` on anything that is not a valid
+    checkpoint of the requested ``kind`` at the current version.
+    """
+    if not isinstance(blob, (bytes, bytearray)):
+        raise CheckpointError("checkpoint must be bytes, got {}".format(
+            type(blob).__name__))
+    if len(blob) < len(MAGIC) + 1 or blob[:len(MAGIC)] != MAGIC:
+        raise CheckpointError("not a checkpoint (bad magic)")
+    version = blob[len(MAGIC)]
+    if version != VERSION:
+        raise CheckpointError(
+            "unsupported checkpoint version {} (this build reads {})"
+            .format(version, VERSION))
+    try:
+        doc = pickle.loads(bytes(blob[len(MAGIC) + 1:]))
+    except Exception as exc:
+        raise CheckpointError("corrupt checkpoint payload: {}: {}".format(
+            type(exc).__name__, exc))
+    if not isinstance(doc, dict) or "kind" not in doc:
+        raise CheckpointError("corrupt checkpoint payload (no kind)")
+    if doc["kind"] != kind:
+        raise CheckpointError(
+            "checkpoint kind mismatch: blob holds {!r}, expected {!r}"
+            .format(doc["kind"], kind))
+    return doc.get("schema") or {}, doc.get("state")
+
+
+def require_schema(found: dict, expected: dict) -> None:
+    """Raise :class:`CheckpointError` unless the schema dicts agree."""
+    for key, want in expected.items():
+        got = found.get(key)
+        if got != want:
+            raise CheckpointError(
+                "checkpoint schema mismatch on {!r}: blob has {!r}, "
+                "restore target has {!r}".format(key, got, want))

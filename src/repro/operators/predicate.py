@@ -210,6 +210,37 @@ class FusedCondition:
             self.input_id, self.output_id)
 
 
+class _CompareTest:
+    """Picklable ``str -> bool`` for :class:`FusedCondition`.
+
+    A plain closure would tie the condition (and with it every live
+    pipeline that embeds one) to the enclosing frame, making the whole
+    run graph unpicklable — which the checkpoint layer
+    (:mod:`repro.fault.checkpoint`) depends on.
+    """
+
+    __slots__ = ("op", "literal")
+
+    def __init__(self, op: str, literal) -> None:
+        self.op = op
+        self.literal = literal
+
+    def __call__(self, s: str) -> bool:
+        return compare_values(self.op, s, self.literal)
+
+
+class _ContainsTest:
+    """Picklable ``str -> bool`` substring test (see :class:`_CompareTest`)."""
+
+    __slots__ = ("literal",)
+
+    def __init__(self, literal: str) -> None:
+        self.literal = literal
+
+    def __call__(self, s: str) -> bool:
+        return self.literal in s
+
+
 def make_condition(stages: Sequence[StateTransformer], input_id: int,
                    output_id: int):
     """Build a condition evaluator, fusing the common shapes.
@@ -228,15 +259,13 @@ def make_condition(stages: Sequence[StateTransformer], input_id: int,
                 and stages[2].output_id == output_id):
             tail = stages[2]
             if type(tail) is CompareLiteral:
-                op, lit = tail.op, tail.literal
                 return FusedCondition(
                     stages, input_id, output_id, child.tag,
-                    lambda s: compare_values(op, s, lit), False)
+                    _CompareTest(tail.op, tail.literal), False)
             if type(tail) is ContainsLiteral:
-                lit = tail.literal
                 return FusedCondition(
                     stages, input_id, output_id, child.tag,
-                    lambda s: lit in s, False)
+                    _ContainsTest(tail.literal), False)
         if (len(stages) == 2 and type(stages[1]) is ExistsFlag
                 and stages[1].input_ids == (child.output_id,)
                 and stages[1].output_id == output_id):

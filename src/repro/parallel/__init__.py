@@ -3,9 +3,14 @@
 One process per shard of the standing-query set; the parent tokenizes
 the input once, encodes each event batch once with the binary codec
 (:mod:`repro.events.codec`) and broadcasts the frames to every worker
-over OS pipes.  See :class:`ShardedMultiQueryRun`.
+over OS pipes.  Workers are supervised: they acknowledge frames, ship
+periodic checkpoints, and are restarted from the last checkpoint with
+journal replay when they die (see :class:`ShardedMultiQueryRun` and
+DESIGN.md section 9).
 """
 
-from .shard import ShardedMultiQueryRun, available_workers, shard_queries
+from .shard import (ShardedMultiQueryRun, ShardError, available_workers,
+                    shard_queries)
 
-__all__ = ["ShardedMultiQueryRun", "shard_queries", "available_workers"]
+__all__ = ["ShardedMultiQueryRun", "ShardError", "shard_queries",
+           "available_workers"]

@@ -1,4 +1,4 @@
-"""Process-pool sharding of the multi-query executor.
+"""Process-pool sharding of the multi-query executor, with supervision.
 
 The single-process :class:`~repro.xquery.engine.MultiQueryRun` removes
 the redundant tokenizer passes but still evaluates every pipeline on one
@@ -6,19 +6,38 @@ core; per-query transformer work is untouched and dominates.  Sharding
 partitions the *query set* — not the stream — across worker processes:
 
 * the parent tokenizes (or deserializes) the input exactly once;
-* each event batch is encoded exactly once with the binary codec and
-  the same frame bytes are written to every worker's pipe (encoding
-  cost is O(stream), independent of the worker count);
+* each event batch is encoded exactly once as a checked codec frame
+  (sequence number + CRC32) and the same frame bytes are written to
+  every worker's pipe (encoding cost is O(stream), independent of the
+  worker count);
 * each worker decodes the frames and drives an ordinary
   ``MultiQueryRun`` over its shard, so per-query semantics, results and
   accounting are identical to the single-process executor;
 * at end-of-stream the parent collects per-query texts and stats over a
   result connection and reassembles them in submission order.
 
+Fault tolerance (DESIGN.md section 9) is layered on top without
+changing the data path:
+
+* workers acknowledge applied frames and ship periodic checkpoints
+  (pickled executor state) back over the result connection;
+* the parent keeps a bounded journal of broadcast frames newer than the
+  oldest live checkpoint.  A dead worker — crash, kill, codec failure
+  from a corrupt frame, sequence gap from a dropped frame — is
+  respawned from its last checkpoint and the journal suffix is
+  replayed.  Replay is deterministic, so recovered output is
+  byte-identical to an uninterrupted run (``tests/test_fault.py``);
+* when the restart budget is exhausted the parent takes the shard over
+  inline (restore + replay in-process); only if that also fails are the
+  shard's queries quarantined with captured error reports — sibling
+  shards are never aborted.  ``quarantine=False`` restores fail-fast
+  :class:`ShardError` propagation instead.
+
 Workers are forked (query texts and flags travel by memory inheritance,
 not pickling).  On platforms without ``fork`` the class degrades to an
 in-process executor that still round-trips every batch through the
-codec, so behaviour — including codec failures — is uniform everywhere.
+codec and runs the same sequence discipline and journal recovery, so
+behaviour — including fault injection — is uniform everywhere.
 
 Shard assignment is greedy balanced-load: queries are placed
 heaviest-first onto the least-loaded shard, using caller-supplied cost
@@ -28,14 +47,21 @@ single-process times) and uniform weights otherwise.
 
 from __future__ import annotations
 
+import errno
 import io
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..events import codec
 from ..events.model import Event
+from ..fault import FaultPlan, arm_stage_fault, error_report
 from ..xmlio.tokenizer import tokenize
 from ..xquery.engine import MultiQueryRun
+
+
+class ShardError(RuntimeError):
+    """A shard failed past every recovery path (or quarantine is off)."""
 
 
 def available_workers() -> int:
@@ -80,131 +106,688 @@ def shard_queries(n_queries: int, workers: int,
     return [s for s in shards if s]
 
 
+class _Journal:
+    """Bounded in-memory log of broadcast frames, for worker replay.
+
+    Frames arrive with contiguous 1-based sequence numbers.  The parent
+    prunes up to the oldest checkpoint any live worker could restart
+    from; beyond that the ``limit`` evicts oldest-first, and a recovery
+    that would need an evicted frame raises (the shard is then
+    quarantined — bounded memory is chosen over unbounded replay).
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("journal_limit must be >= 1")
+        self.limit = limit
+        self._frames: Dict[int, bytes] = {}
+        self._lo = 1            # smallest retained sequence number
+        self.evicted_to = 0     # sequence numbers <= this are gone
+
+    def append(self, seq: int, frame: bytes) -> None:
+        self._frames[seq] = frame
+        while len(self._frames) > self.limit:
+            del self._frames[self._lo]
+            self.evicted_to = self._lo
+            self._lo += 1
+
+    def prune(self, upto: int) -> None:
+        """Discard frames with seq <= ``upto`` (checkpoint-covered)."""
+        while self._lo <= upto and self._frames:
+            self._frames.pop(self._lo, None)
+            self._lo += 1
+        if upto > self.evicted_to:
+            self.evicted_to = upto
+
+    def frame(self, seq: int) -> bytes:
+        try:
+            return self._frames[seq]
+        except KeyError:
+            raise ShardError(
+                "journal no longer holds frame {} (evicted up to {}, "
+                "limit {})".format(seq, self.evicted_to, self.limit))
+
+    def stats(self) -> dict:
+        return {"frames": len(self._frames), "limit": self.limit,
+                "evicted_to": self.evicted_to}
+
+
+class _ShardEngine:
+    """Sequence-disciplined frame consumer driving one shard's executor.
+
+    Shared by worker processes and the parent's inline paths so the
+    recovery semantics are identical everywhere: duplicate frames
+    (seq <= applied) are dropped, gaps raise a structured
+    :class:`~repro.events.codec.CodecError`, and construction either
+    starts fresh (arming any scripted stage faults) or restores a
+    checkpoint (armed faults ride inside the blob).
+    """
+
+    def __init__(self, queries: List[str], engine_kwargs: Dict,
+                 global_indices: List[int],
+                 stage_faults: List[Tuple[int, int, int]],
+                 ckpt_blob: Optional[bytes] = None,
+                 start_seq: int = 0) -> None:
+        if ckpt_blob is not None:
+            self.mq = MultiQueryRun.restore(ckpt_blob, queries=queries)
+        else:
+            self.mq = MultiQueryRun(queries, **engine_kwargs)
+            for local_q, stage, at in stage_faults:
+                arm_stage_fault(self.mq.query_run(local_q), stage, at,
+                                query=global_indices[local_q])
+        self.applied = start_seq
+        self.duplicates_dropped = 0
+
+    def apply(self, seq: Optional[int], payload: bytes) -> bool:
+        """Apply one frame; False if it was a duplicate.
+
+        Raises :class:`~repro.events.codec.CodecError` on a sequence
+        gap — the caller treats that exactly like a corrupt frame
+        (restart + replay fills the hole from the journal).
+        """
+        if seq is None:
+            seq = self.applied + 1      # legacy unchecked frame
+        if seq <= self.applied:
+            self.duplicates_dropped += 1
+            return False
+        if seq != self.applied + 1:
+            raise codec.CodecError(
+                "frame sequence gap: expected {}, got {}".format(
+                    self.applied + 1, seq),
+                reason="sequence-gap", expected=self.applied + 1, got=seq)
+        self.mq.feed_all(codec.decode_batch(payload))
+        self.applied = seq
+        return True
+
+    def apply_frame_bytes(self, frame: bytes) -> bool:
+        """Decode one raw frame (either format) and apply it."""
+        result = codec.read_frame_ex(io.BytesIO(frame))
+        if result is None or not result[1]:
+            return False
+        return self.apply(result[0], result[1])
+
+    def checkpoint(self) -> bytes:
+        return self.mq.checkpoint()
+
+    def result(self) -> Dict:
+        mq = self.mq.finish()
+        return {"ok": True, "texts": mq.texts(), "stats": mq.stats(),
+                "statuses": mq.statuses(),
+                "error_reports": mq.error_reports(),
+                "frames_applied": self.applied,
+                "duplicates_dropped": self.duplicates_dropped}
+
+
 def _worker_main(rfd: int, result_conn, queries: List[str],
-                 engine_kwargs: Dict) -> None:
-    """Worker entry: decode frames from ``rfd``, run the shard, report."""
-    result = {"ok": False, "error": "worker exited before end-of-stream"}
+                 engine_kwargs: Dict, global_indices: List[int],
+                 stage_faults: List[Tuple[int, int, int]],
+                 ack_interval: int, checkpoint_interval: int,
+                 ckpt_blob: Optional[bytes], start_seq: int) -> None:
+    """Worker entry: decode frames from ``rfd``, run the shard, report.
+
+    Protocol (worker -> parent over ``result_conn``)::
+
+        ("ack", seq)            frame ``seq`` applied
+        ("ckpt", seq, blob)     checkpoint covering frames <= seq
+        ("done", result)        end-of-stream result payload
+        ("fail", report)        structured failure; the worker exits
+
+    A restarted worker gets the last checkpoint (``ckpt_blob`` +
+    ``start_seq``) and sees the missed frames again via journal replay.
+    """
+    applied = start_seq
     try:
-        mq = MultiQueryRun(queries, **engine_kwargs)
+        engine = _ShardEngine(queries, engine_kwargs, global_indices,
+                              stage_faults, ckpt_blob=ckpt_blob,
+                              start_seq=start_seq)
+        since_ack = since_ckpt = 0
         with os.fdopen(rfd, "rb", buffering=1 << 16) as reader:
-            for payload in codec.iter_frames(reader):
-                mq.feed_all(codec.decode_batch(payload))
-        mq.finish()
-        result = {"ok": True, "texts": mq.texts(), "stats": mq.stats()}
+            for seq, payload in codec.iter_frames_ex(reader):
+                if not engine.apply(seq, payload):
+                    continue
+                applied = engine.applied
+                since_ack += 1
+                since_ckpt += 1
+                if since_ack >= ack_interval:
+                    result_conn.send(("ack", applied))
+                    since_ack = 0
+                if since_ckpt >= checkpoint_interval:
+                    result_conn.send(("ckpt", applied,
+                                      engine.checkpoint()))
+                    since_ckpt = 0
+        result_conn.send(("done", engine.result()))
     except BaseException as exc:  # report, don't hang the parent
-        result = {"ok": False, "error": "{}: {}".format(
-            type(exc).__name__, exc)}
-    try:
-        result_conn.send(result)
+        try:
+            result_conn.send(("fail", error_report(
+                exc, frames_applied=applied,
+                shard_queries=list(queries))))
+        except Exception:
+            pass
     finally:
-        result_conn.close()
+        try:
+            result_conn.close()
+        except Exception:
+            pass
 
 
-class _ForkShard:
-    """Parent-side handle of one forked worker."""
+_FRAME_FAULTS = ("drop", "corrupt", "dup")
 
-    def __init__(self, ctx, indices: List[int], queries: List[str],
-                 engine_kwargs: Dict) -> None:
+
+class _FaultMixin:
+    """Per-shard fault-plan bookkeeping shared by both shard flavours."""
+
+    def _init_faults(self, shard_no: int, indices: List[int],
+                     fault_plan: Optional[FaultPlan]) -> None:
+        self.no = shard_no
+        self.plan = fault_plan
+        self.stage_faults = (fault_plan.stage_faults(indices)
+                             if fault_plan else [])
+        self.kill_after = (fault_plan.kill_after(shard_no)
+                           if fault_plan else None)
+        self._kill_fired = False
+        self._fired: set = set()
+
+    def _frame_actions(self, seq: int) -> List[str]:
+        """Unfired scripted actions for this frame; marks them fired.
+
+        Each action fires at most once — replayed frames never re-fire
+        a fault, which is what lets recovery converge.
+        """
+        if self.plan is None:
+            return []
+        out = []
+        for kind in self.plan.frame_actions(self.no, seq):
+            if (kind, seq) not in self._fired:
+                self._fired.add((kind, seq))
+                out.append(kind)
+        return out
+
+    def _kill_due(self) -> bool:
+        if (self.kill_after is not None and not self._kill_fired
+                and self.frames_delivered >= self.kill_after):
+            self._kill_fired = True
+            return True
+        return False
+
+
+class _ForkShard(_FaultMixin):
+    """Parent-side supervisor of one forked worker.
+
+    Owns the worker's lifecycle: spawn, health checks on every
+    delivery, restart-from-checkpoint with journal replay and
+    exponential backoff, inline takeover when the restart budget runs
+    out, quarantine as the last resort.  All file descriptors are
+    closed and the child reaped on every exit path.
+    """
+
+    def __init__(self, ctx, shard_no: int, indices: List[int],
+                 queries: List[str], engine_kwargs: Dict,
+                 fault_plan: Optional[FaultPlan], sup: Dict) -> None:
+        self.ctx = ctx
         self.indices = indices
+        self.queries = queries
+        self.engine_kwargs = engine_kwargs
+        self.sup = sup
+        self._init_faults(shard_no, indices, fault_plan)
+        self.bytes_shipped = 0
+        self.frames_delivered = 0   # fault-visible deliveries (kill clock)
+        self.seq_target = 0         # newest broadcast seq (replay bound)
+        self.last_ack = 0
+        self.last_ckpt_seq = 0
+        self.ckpt_blob: Optional[bytes] = None
+        self.checkpoints = 0
+        self.restarts = 0
+        self.replayed_frames = 0
+        self.duplicates_dropped = 0
+        self.inline: Optional[_ShardEngine] = None
+        self.inline_takeover = 0
+        self.quarantined = False
+        self.quarantine_report: Optional[dict] = None
+        self.process = None
+        self.writer = None
+        self.conn = None
+        self._spawn(None, 0)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _spawn(self, ckpt_blob: Optional[bytes], start_seq: int) -> None:
         rfd, wfd = os.pipe()
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
-        self.process = ctx.Process(
-            target=_worker_main,
-            args=(rfd, send_conn, queries, engine_kwargs), daemon=True)
-        self.process.start()
-        os.close(rfd)
-        send_conn.close()
+        recv_conn, send_conn = self.ctx.Pipe(duplex=False)
+        try:
+            self.process = self.ctx.Process(
+                target=_worker_main,
+                args=(rfd, send_conn, self.queries, self.engine_kwargs,
+                      self.indices, self.stage_faults,
+                      self.sup["ack_interval"],
+                      self.sup["checkpoint_interval"],
+                      ckpt_blob, start_seq),
+                daemon=True)
+            self.process.start()
+        except BaseException:
+            os.close(wfd)
+            recv_conn.close()
+            raise
+        finally:
+            os.close(rfd)
+            send_conn.close()
         self.writer = os.fdopen(wfd, "wb", buffering=1 << 16)
         self.conn = recv_conn
-        self.alive = True
-        self.bytes_shipped = 0
 
-    def ship(self, frame: bytes) -> None:
-        if not self.alive:
-            return
-        try:
-            self.writer.write(frame)
-            self.bytes_shipped += len(frame)
-        except BrokenPipeError:
-            # The worker died; its error surfaces in collect().
-            self.alive = False
-
-    def collect(self, timeout: Optional[float]) -> Dict:
-        try:
-            if self.alive:
-                codec.write_frame(self.writer, b"")  # end-of-stream
-                self.writer.flush()
-        except BrokenPipeError:
-            pass
-        finally:
-            self.writer.close()
-        if self.conn.poll(timeout):
-            result = self.conn.recv()
-        else:
-            result = {"ok": False,
-                      "error": "worker produced no result within {}s"
-                      .format(timeout)}
-        self.conn.close()
-        self.process.join(timeout)
-        if self.process.is_alive():
-            self.process.terminate()
-            self.process.join()
-        return result
+    def _reap(self) -> None:
+        """Close this worker's fds and wait the child out (no zombies)."""
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except OSError:
+                pass
+            self.writer = None
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        if self.process is not None:
+            self.process.join(1.0)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join()
+            self.process = None
 
     def abort(self) -> None:
+        self._reap()
+
+    # -- supervision ----------------------------------------------------------
+
+    def _pump(self) -> Optional[tuple]:
+        """Drain pending worker messages; return a terminal one, if any."""
+        if self.conn is None:
+            return None
         try:
-            self.writer.close()
-        except OSError:
+            while self.conn.poll(0):
+                msg = self.conn.recv()
+                kind = msg[0]
+                if kind == "ack":
+                    self.last_ack = max(self.last_ack, msg[1])
+                elif kind == "ckpt":
+                    self.last_ckpt_seq = msg[1]
+                    self.ckpt_blob = msg[2]
+                    self.last_ack = max(self.last_ack, msg[1])
+                    self.checkpoints += 1
+                else:           # "done" / "fail"
+                    return msg
+        except (EOFError, OSError):
             pass
-        self.conn.close()
-        if self.process.is_alive():
-            self.process.terminate()
-            self.process.join()
+        return None
 
+    def _recover(self, journal: _Journal, report: dict) -> bool:
+        """Bring the shard back after a worker death.
 
-class _InlineShard:
-    """Fallback shard on platforms without fork: same codec round trip,
-    same result shape, executed in the parent process."""
+        Restart budget first (respawn from the last checkpoint, replay
+        the journal suffix), inline takeover second, quarantine last.
+        Returns True when the shard can keep consuming frames.
+        """
+        while self.restarts < self.sup["max_restarts"]:
+            self._reap()
+            if self.restarts:
+                time.sleep(self.sup["restart_backoff"]
+                           * (2 ** (self.restarts - 1)))
+            self.restarts += 1
+            try:
+                self._spawn(self.ckpt_blob, self.last_ckpt_seq)
+                self._replay(journal)
+            except ShardError:
+                break           # journal evicted: restart cannot help
+            except OSError:
+                continue
+            return True
+        self._reap()
+        if self._takeover(journal):
+            return True
+        self.quarantined = True
+        self.quarantine_report = report
+        return False
 
-    def __init__(self, indices: List[int], queries: List[str],
-                 engine_kwargs: Dict) -> None:
-        self.indices = indices
-        self.mq = MultiQueryRun(queries, **engine_kwargs)
-        self.bytes_shipped = 0
-        self._failed: Optional[str] = None
+    def _replay(self, journal: _Journal) -> None:
+        """Re-ship the exact journal bytes the restarted worker missed.
 
-    def ship(self, frame: bytes) -> None:
-        if self._failed is not None:
+        Replay bypasses fault actions and the kill clock: a fault fires
+        once against the live stream, never again against its replay.
+        """
+        for seq in range(self.last_ckpt_seq + 1, self.seq_target + 1):
+            frame = journal.frame(seq)
+            self.writer.write(frame)
+            self.bytes_shipped += len(frame)
+            self.replayed_frames += 1
+        self.writer.flush()
+
+    def _takeover(self, journal: _Journal) -> bool:
+        """Adopt the shard into the parent process (last-ditch recovery)."""
+        try:
+            engine = _ShardEngine(
+                self.queries, self.engine_kwargs, self.indices,
+                [] if self.ckpt_blob is not None else self.stage_faults,
+                ckpt_blob=self.ckpt_blob, start_seq=self.last_ckpt_seq)
+            for seq in range(self.last_ckpt_seq + 1, self.seq_target + 1):
+                engine.apply_frame_bytes(journal.frame(seq))
+                self.replayed_frames += 1
+        except Exception:
+            return False
+        self.inline = engine
+        self.inline_takeover = 1
+        return True
+
+    # -- data path ------------------------------------------------------------
+
+    def deliver(self, seq: int, frame: bytes, journal: _Journal) -> None:
+        """Ship one broadcast frame, applying any scripted faults."""
+        self.seq_target = seq
+        if self.quarantined:
             return
-        self.bytes_shipped += len(frame)
-        try:
-            payload = codec.read_frame(io.BytesIO(frame))
-            self.mq.feed_all(codec.decode_batch(payload))
-        except Exception as exc:
-            self._failed = "{}: {}".format(type(exc).__name__, exc)
+        if self.inline is not None:
+            try:
+                self.inline.apply_frame_bytes(frame)
+            except Exception as exc:
+                self.quarantined = True
+                self.quarantine_report = error_report(
+                    exc, shard=self.no, phase="inline-takeover")
+            return
+        terminal = self._pump()
+        if terminal is not None and terminal[0] == "fail":
+            self._recover(journal, terminal[1])
+            return              # _replay already covered this frame
+        if self.process is not None and not self.process.is_alive():
+            self._recover(journal, {
+                "error_type": "WorkerDied",
+                "message": "worker exited unexpectedly before "
+                           "end-of-stream"})
+            return
+        actions = self._frame_actions(seq)
+        if "drop" in actions:
+            return              # the gap (or tail check) triggers recovery
+        out = (self.plan.corrupt_bytes(frame, seq)
+               if "corrupt" in actions else frame)
+        for _ in range(2 if "dup" in actions else 1):
+            if not self._write(out, journal):
+                return
+        self.frames_delivered += 1
+        if self._kill_due():
+            self.process.kill()
 
-    def collect(self, timeout: Optional[float]) -> Dict:
-        if self._failed is not None:
-            return {"ok": False, "error": self._failed}
+    def _write(self, data: bytes, journal: _Journal) -> bool:
         try:
-            self.mq.finish()
+            self.writer.write(data)
+            self.writer.flush()
+            self.bytes_shipped += len(data)
+            return True
+        except OSError as exc:
+            if exc.errno not in (None, errno.EPIPE):
+                raise
+            return self._recover(journal, error_report(
+                exc, shard=self.no, phase="ship"))
+
+    # -- completion -----------------------------------------------------------
+
+    def _send_eos(self) -> bool:
+        try:
+            codec.write_frame(self.writer, b"")
+            self.writer.flush()
+            return True
+        except OSError:
+            return False
+
+    def collect(self, timeout: Optional[float], journal: _Journal,
+                total_frames: int) -> Dict:
+        """Signal end-of-stream and gather this shard's result.
+
+        Every failure observed here — worker death, a ``fail`` message,
+        a timeout, a frames-applied shortfall (a dropped tail frame
+        leaves no gap for the worker to notice) — goes through the same
+        :meth:`_recover` ladder before giving up.
+        """
+        if self.quarantined:
+            return self._quarantine_result()
+        if self.inline is None and not self._send_eos():
+            self._recover_and_resend(journal, {
+                "error_type": "WorkerDied",
+                "message": "worker gone at end-of-stream"})
+        if self.inline is not None:
+            return self._inline_result()
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            if self.quarantined:
+                return self._quarantine_result()
+            if self.inline is not None:
+                return self._inline_result()
+            remaining = (None if deadline is None
+                         else deadline - time.monotonic())
+            if remaining is not None and remaining <= 0:
+                self.restarts = self.sup["max_restarts"]  # no respawn loop
+                self._recover(journal, {
+                    "error_type": "TimeoutError",
+                    "message": "worker produced no result within {}s"
+                    .format(timeout)})
+                continue
+            try:
+                ready = self.conn.poll(
+                    0.05 if remaining is None else min(remaining, 0.05))
+            except (EOFError, OSError):
+                ready = False
+            if not ready:
+                if self.process is not None and not self.process.is_alive():
+                    if self._pump_terminal_after_death(journal):
+                        continue
+                continue
+            try:
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                if self._recover_and_resend(journal, {
+                        "error_type": "WorkerDied",
+                        "message": "result connection closed"}):
+                    if deadline is not None:
+                        deadline = time.monotonic() + timeout
+                continue
+            kind = msg[0]
+            if kind == "ack":
+                self.last_ack = max(self.last_ack, msg[1])
+            elif kind == "ckpt":
+                self.last_ckpt_seq, self.ckpt_blob = msg[1], msg[2]
+                self.checkpoints += 1
+            elif kind == "fail":
+                if self._recover_and_resend(journal, msg[1]) \
+                        and deadline is not None:
+                    deadline = time.monotonic() + timeout
+            else:               # "done"
+                result = msg[1]
+                if result.get("frames_applied", total_frames) \
+                        != total_frames:
+                    if self._recover_and_resend(journal, {
+                            "error_type": "FramesLost",
+                            "message":
+                                "worker applied {} of {} frames".format(
+                                    result.get("frames_applied"),
+                                    total_frames)}) \
+                            and deadline is not None:
+                        deadline = time.monotonic() + timeout
+                    continue
+                self.duplicates_dropped = result.get(
+                    "duplicates_dropped", 0)
+                self._reap()
+                return result
+
+    def _pump_terminal_after_death(self, journal: _Journal) -> bool:
+        """A dead worker with nothing readable left: recover.
+
+        Returns True so the collect loop re-evaluates shard state.
+        """
+        self._recover(journal, {
+            "error_type": "WorkerDied",
+            "message": "worker exited without a result"})
+        if not self.quarantined and self.inline is None:
+            self._send_eos()
+        return True
+
+    def _recover_and_resend(self, journal: _Journal,
+                            report: dict) -> bool:
+        if not self._recover(journal, report):
+            return False
+        if self.inline is None:
+            self._send_eos()
+        return True
+
+    def _inline_result(self) -> Dict:
+        try:
+            result = self.inline.result()
         except Exception as exc:
-            return {"ok": False, "error": "{}: {}".format(
-                type(exc).__name__, exc)}
-        return {"ok": True, "texts": self.mq.texts(),
-                "stats": self.mq.stats()}
+            self.quarantined = True
+            self.quarantine_report = error_report(
+                exc, shard=self.no, phase="inline-finish")
+            return self._quarantine_result()
+        self.duplicates_dropped = result["duplicates_dropped"]
+        return result
+
+    def _quarantine_result(self) -> Dict:
+        report = self.quarantine_report or {
+            "error_type": "ShardError", "message": "shard quarantined"}
+        return {"ok": False, "quarantined": True,
+                "error": "{}: {}".format(report.get("error_type"),
+                                         report.get("message")),
+                "report": report}
+
+
+class _InlineShard(_FaultMixin):
+    """Fallback shard on platforms without fork.
+
+    Runs the same :class:`_ShardEngine`, the same codec round trip, the
+    same sequence discipline and journal-replay recovery as a forked
+    worker — a ``kill`` fault becomes a simulated crash (the engine is
+    discarded and rebuilt from its last checkpoint), so chaos tests
+    exercise identical recovery paths everywhere.
+    """
+
+    def __init__(self, shard_no: int, indices: List[int],
+                 queries: List[str], engine_kwargs: Dict,
+                 fault_plan: Optional[FaultPlan], sup: Dict) -> None:
+        self.indices = indices
+        self.queries = queries
+        self.engine_kwargs = engine_kwargs
+        self.sup = sup
+        self._init_faults(shard_no, indices, fault_plan)
+        self.engine: Optional[_ShardEngine] = _ShardEngine(
+            queries, engine_kwargs, indices, self.stage_faults)
+        self.bytes_shipped = 0
+        self.frames_delivered = 0
+        self.seq_target = 0
+        self.last_ckpt_seq = 0
+        self.ckpt_blob: Optional[bytes] = None
+        self.checkpoints = 0
+        self.restarts = 0
+        self.replayed_frames = 0
+        self.duplicates_dropped = 0
+        self.inline_takeover = 0
+        self.quarantined = False
+        self.quarantine_report: Optional[dict] = None
+        self._since_ckpt = 0
+
+    def deliver(self, seq: int, frame: bytes, journal: _Journal) -> None:
+        self.seq_target = seq
+        if self.quarantined:
+            return
+        actions = self._frame_actions(seq)
+        if "drop" in actions:
+            return
+        out = (self.plan.corrupt_bytes(frame, seq)
+               if "corrupt" in actions else frame)
+        for _ in range(2 if "dup" in actions else 1):
+            self.bytes_shipped += len(out)
+            try:
+                if not self.engine.apply_frame_bytes(out):
+                    continue
+            except Exception as exc:
+                self._recover(journal, error_report(exc, shard=self.no))
+                if self.quarantined:
+                    return
+                continue
+            self._since_ckpt += 1
+            if self._since_ckpt >= self.sup["checkpoint_interval"]:
+                self._take_checkpoint()
+        self.frames_delivered += 1
+        if self._kill_due():
+            self.engine = None  # simulated crash: state is gone
+            self._recover(journal, {"error_type": "SimulatedKill",
+                                    "message": "kill fault (inline mode)"})
+
+    def _take_checkpoint(self) -> None:
+        try:
+            self.ckpt_blob = self.engine.checkpoint()
+        except Exception:
+            return              # unpicklable state: recovery replays all
+        self.last_ckpt_seq = self.engine.applied
+        self.checkpoints += 1
+        self._since_ckpt = 0
+
+    def _recover(self, journal: _Journal, report: dict) -> None:
+        if self.restarts >= self.sup["max_restarts"]:
+            self.quarantined = True
+            self.quarantine_report = report
+            self.engine = None
+            return
+        self.restarts += 1
+        try:
+            engine = _ShardEngine(
+                self.queries, self.engine_kwargs, self.indices,
+                [] if self.ckpt_blob is not None else self.stage_faults,
+                ckpt_blob=self.ckpt_blob, start_seq=self.last_ckpt_seq)
+            for seq in range(self.last_ckpt_seq + 1, self.seq_target + 1):
+                engine.apply_frame_bytes(journal.frame(seq))
+                self.replayed_frames += 1
+        except Exception as exc:
+            self.quarantined = True
+            self.quarantine_report = error_report(
+                exc, shard=self.no, phase="replay")
+            self.engine = None
+            return
+        self.engine = engine
+
+    def collect(self, timeout: Optional[float], journal: _Journal,
+                total_frames: int) -> Dict:
+        if not self.quarantined and self.engine is not None \
+                and self.engine.applied != total_frames:
+            self._recover(journal, {
+                "error_type": "FramesLost",
+                "message": "applied {} of {} frames".format(
+                    self.engine.applied, total_frames)})
+        if self.quarantined:
+            report = self.quarantine_report or {}
+            return {"ok": False, "quarantined": True,
+                    "error": "{}: {}".format(report.get("error_type"),
+                                             report.get("message")),
+                    "report": report}
+        try:
+            result = self.engine.result()
+        except Exception as exc:
+            report = error_report(exc, shard=self.no, phase="finish")
+            self.quarantined = True
+            self.quarantine_report = report
+            return {"ok": False, "quarantined": True,
+                    "error": "{}: {}".format(report["error_type"],
+                                             report["message"]),
+                    "report": report}
+        self.duplicates_dropped = result["duplicates_dropped"]
+        return result
 
     def abort(self) -> None:
         pass
 
 
 class ShardedMultiQueryRun:
-    """Evaluate N standing queries sharded across worker processes.
+    """Evaluate N standing queries sharded across supervised workers.
 
     Mirrors the :class:`~repro.xquery.engine.MultiQueryRun` interface
     (``feed`` / ``feed_all`` / ``finish`` / ``run_xml`` / ``texts`` /
-    ``stats``); results are in submission order regardless of shard
-    placement.
+    ``stats`` / ``statuses`` / ``error_reports``); results are in
+    submission order regardless of shard placement.
 
     Args:
         queries: query *texts* (workers compile their own plans; plans
@@ -214,6 +797,19 @@ class ShardedMultiQueryRun:
         batch_events: events buffered per broadcast frame.
         mutable_source / ignore_updates / validate / always_active:
             forwarded to each worker's ``MultiQueryRun``.
+        quarantine: with the default True, unrecoverable failures
+            quarantine the affected queries (``texts()`` reports None
+            for them) instead of raising; False restores fail-fast
+            :class:`ShardError` propagation.
+        fault_plan: a :class:`~repro.fault.FaultPlan` to inject
+            scripted failures; defaults to the ``REPRO_FAULTS``
+            environment hook.
+        max_restarts: worker respawn budget per shard.
+        restart_backoff: base of the exponential restart delay
+            (seconds; the k-th restart waits ``backoff * 2**(k-1)``).
+        ack_interval / checkpoint_interval: frames between worker
+            acknowledgements / shipped checkpoints.
+        journal_limit: maximum broadcast frames retained for replay.
     """
 
     def __init__(self, queries: Sequence[str],
@@ -225,7 +821,14 @@ class ShardedMultiQueryRun:
                  validate: bool = False,
                  always_active: bool = False,
                  metrics: Optional[bool] = None,
-                 sample_interval: int = 256) -> None:
+                 sample_interval: int = 256,
+                 quarantine: bool = True,
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_restarts: int = 2,
+                 restart_backoff: float = 0.05,
+                 ack_interval: int = 1,
+                 checkpoint_interval: int = 16,
+                 journal_limit: int = 1024) -> None:
         self.query_texts: List[str] = []
         for q in queries:
             if not isinstance(q, str):
@@ -237,12 +840,21 @@ class ShardedMultiQueryRun:
             raise ValueError("batch_events must be >= 1")
         self.workers = workers if workers is not None else \
             available_workers()
+        self.quarantine = quarantine
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        self.fault_plan = fault_plan
+        sup = {"max_restarts": max_restarts,
+               "restart_backoff": restart_backoff,
+               "ack_interval": ack_interval,
+               "checkpoint_interval": checkpoint_interval}
         engine_kwargs = dict(mutable_source=mutable_source,
                              ignore_updates=ignore_updates,
                              validate=validate,
                              always_active=always_active,
                              metrics=metrics,
-                             sample_interval=sample_interval)
+                             sample_interval=sample_interval,
+                             quarantine=quarantine)
         # Compile in the parent first: fail fast on a bad query before
         # any process is forked, and learn the stream metadata the
         # tokenizer needs (oids, source stream number).  The probe never
@@ -255,22 +867,26 @@ class ShardedMultiQueryRun:
                                             self.workers, weights)
         ctx = _fork_context()
         self.mode = "fork" if ctx is not None else "inline"
+        self._journal = _Journal(journal_limit)
         self._shards = []
-        for indices in self.shards_indices:
+        for shard_no, indices in enumerate(self.shards_indices):
             shard_queries_ = [self.query_texts[i] for i in indices]
             if ctx is not None:
-                self._shards.append(_ForkShard(ctx, indices,
-                                               shard_queries_,
-                                               engine_kwargs))
+                self._shards.append(_ForkShard(
+                    ctx, shard_no, indices, shard_queries_,
+                    engine_kwargs, fault_plan, sup))
             else:
-                self._shards.append(_InlineShard(indices, shard_queries_,
-                                                 engine_kwargs))
+                self._shards.append(_InlineShard(
+                    shard_no, indices, shard_queries_, engine_kwargs,
+                    fault_plan, sup))
         self._batch_events = batch_events
         self._buffer: List[Event] = []
         self.events_in = 0
         self.frames = 0
         self._results: Optional[List[Dict]] = None
-        self._texts: Optional[List[str]] = None
+        self._texts: Optional[List[Optional[str]]] = None
+        self._statuses: Optional[List[str]] = None
+        self._error_reports: Optional[Dict[int, dict]] = None
 
     # -- feeding ---------------------------------------------------------------
 
@@ -291,12 +907,23 @@ class ShardedMultiQueryRun:
         if not self._buffer:
             return
         # Encode once; every worker receives the identical frame bytes.
-        frame = codec.encode_frame(self._buffer)
+        seq = self.frames + 1
+        frame = codec.encode_checked_frame(self._buffer, seq)
         self.events_in += len(self._buffer)
-        self.frames += 1
+        self.frames = seq
         self._buffer.clear()
+        journal = self._journal
+        journal.append(seq, frame)
         for shard in self._shards:
-            shard.ship(frame)
+            shard.deliver(seq, frame, journal)
+        self._prune_journal()
+
+    def _prune_journal(self) -> None:
+        """Drop frames every possible future replay is past."""
+        floors = [s.last_ckpt_seq for s in self._shards
+                  if isinstance(s, _ForkShard) and not s.quarantined
+                  and s.inline is None]
+        self._journal.prune(min(floors) if floors else self.frames)
 
     def finish(self, timeout: Optional[float] = 120.0
                ) -> "ShardedMultiQueryRun":
@@ -304,17 +931,31 @@ class ShardedMultiQueryRun:
         if self._results is not None:
             return self
         self._flush()
-        self._results = [shard.collect(timeout) for shard in self._shards]
+        journal = self._journal
+        self._results = [shard.collect(timeout, journal, self.frames)
+                         for shard in self._shards]
         failures = [r["error"] for r in self._results if not r["ok"]]
-        if failures:
-            raise RuntimeError(
+        if failures and not self.quarantine:
+            raise ShardError(
                 "{} of {} shard workers failed: {}".format(
                     len(failures), len(self._shards), "; ".join(failures)))
-        texts: List[Optional[str]] = [None] * len(self.query_texts)
+        n = len(self.query_texts)
+        texts: List[Optional[str]] = [None] * n
+        statuses = ["quarantined"] * n
+        reports: Dict[int, dict] = {}
         for shard, result in zip(self._shards, self._results):
-            for local_i, orig_i in enumerate(shard.indices):
-                texts[orig_i] = result["texts"][local_i]
-        self._texts = texts  # type: ignore[assignment]
+            if result["ok"]:
+                for local_i, orig_i in enumerate(shard.indices):
+                    texts[orig_i] = result["texts"][local_i]
+                    statuses[orig_i] = result["statuses"][local_i]
+                for local_i, report in result["error_reports"].items():
+                    reports[shard.indices[local_i]] = report
+            else:
+                for orig_i in shard.indices:
+                    reports[orig_i] = result["report"]
+        self._texts = texts
+        self._statuses = statuses
+        self._error_reports = reports
         return self
 
     def run(self, events: Iterable[Event]) -> "ShardedMultiQueryRun":
@@ -345,14 +986,30 @@ class ShardedMultiQueryRun:
 
     # -- results ---------------------------------------------------------------
 
-    def texts(self) -> List[str]:
-        """Final answers in submission order (available after finish)."""
+    def texts(self) -> List[Optional[str]]:
+        """Final answers in submission order (available after finish).
+
+        Quarantined queries report ``None`` — see :meth:`statuses` and
+        :meth:`error_reports` for what happened to them.
+        """
         if self._texts is None:
             raise RuntimeError("results are available after finish()")
         return list(self._texts)
 
-    def text(self, i: int) -> str:
+    def text(self, i: int) -> Optional[str]:
         return self.texts()[i]
+
+    def statuses(self) -> List[str]:
+        """Per-query health, submission order: ``"ok"``/``"quarantined"``."""
+        if self._statuses is None:
+            raise RuntimeError("statuses are available after finish()")
+        return list(self._statuses)
+
+    def error_reports(self) -> Dict[int, dict]:
+        """Query index -> captured error report for quarantined queries."""
+        if self._error_reports is None:
+            raise RuntimeError("reports are available after finish()")
+        return dict(self._error_reports)
 
     def stats(self) -> dict:
         """Aggregate executor metrics plus the per-query breakdown."""
@@ -361,11 +1018,15 @@ class ShardedMultiQueryRun:
         per_query: List[Optional[dict]] = [None] * len(self.query_texts)
         calls = cells = 0
         for shard, result in zip(self._shards, self._results):
-            shard_stats = result["stats"]
-            calls += shard_stats["transformer_calls"]
-            cells += shard_stats["state_cells"]
-            for local_i, orig_i in enumerate(shard.indices):
-                per_query[orig_i] = shard_stats["per_query"][local_i]
+            if result["ok"]:
+                shard_stats = result["stats"]
+                calls += shard_stats["transformer_calls"]
+                cells += shard_stats["state_cells"]
+                for local_i, orig_i in enumerate(shard.indices):
+                    per_query[orig_i] = shard_stats["per_query"][local_i]
+            else:
+                for orig_i in shard.indices:
+                    per_query[orig_i] = {"status": "quarantined"}
         out = {
             "queries": len(self.query_texts),
             "workers": len(self._shards),
@@ -377,11 +1038,30 @@ class ShardedMultiQueryRun:
             "transformer_calls": calls,
             "state_cells": cells,
             "per_query": per_query,
+            "statuses": self.statuses(),
+            "fault_tolerance": self.fault_stats(),
         }
         merged = self.metrics()
         if merged is not None:
             out["metrics"] = merged
         return out
+
+    def fault_stats(self) -> dict:
+        """Supervision counters: what the fault-tolerance layer did."""
+        shards = self._shards
+        return {
+            "restarts": sum(s.restarts for s in shards),
+            "replayed_frames": sum(s.replayed_frames for s in shards),
+            "inline_takeovers": sum(s.inline_takeover for s in shards),
+            "duplicates_dropped": sum(s.duplicates_dropped
+                                      for s in shards),
+            "checkpoints": sum(s.checkpoints for s in shards),
+            "quarantined_queries": (self._statuses or []).count(
+                "quarantined"),
+            "fault_plan": (self.fault_plan.to_spec()
+                           if self.fault_plan else None),
+            "journal": self._journal.stats(),
+        }
 
     def metrics(self) -> Optional[dict]:
         """Telemetry merged across shard workers (None when off).

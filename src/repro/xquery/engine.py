@@ -103,6 +103,43 @@ class QueryRun:
         self.pipeline.finish()
         return self
 
+    # -- checkpoint / restore --------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Snapshot the run — pipeline, display, stripper — mid-stream.
+
+        Everything goes into ONE pickle so shared structure survives:
+        the display object in the envelope *is* the pipeline's sink, and
+        restoring keeps them identical.  ``on_change`` callbacks ride
+        along and must therefore be picklable (module-level functions;
+        no closures) — a non-picklable callback raises
+        :class:`~repro.fault.checkpoint.CheckpointError` at checkpoint
+        time, never silently drops state.
+        """
+        from ..fault.checkpoint import encode_checkpoint
+        schema = dict(self.pipeline.checkpoint_schema(),
+                      stripper=self._stripper is not None)
+        state = {
+            "pipeline": self.pipeline.checkpoint_state(),
+            "stripper": self._stripper,
+        }
+        return encode_checkpoint("queryrun", schema, state)
+
+    def restore(self, blob: bytes) -> "QueryRun":
+        """Adopt a :meth:`checkpoint` snapshot in place.
+
+        The receiving run must come from a fresh compile of the same
+        query with the same flags (schema-guarded).  Returns ``self``.
+        """
+        from ..fault.checkpoint import decode_checkpoint, require_schema
+        schema, state = decode_checkpoint(blob, "queryrun")
+        require_schema(schema, dict(self.pipeline.checkpoint_schema(),
+                                    stripper=self._stripper is not None))
+        self.pipeline.apply_checkpoint_state(state["pipeline"])
+        self.display = self.pipeline.sink
+        self._stripper = state["stripper"]
+        return self
+
     # -- results ---------------------------------------------------------------
 
     def text(self) -> str:
@@ -163,6 +200,16 @@ class MultiQueryRun:
         dedup: collapse identical (text, flags) queries onto one
             pipeline.
         always_active: disable wrapper fast paths (differential tests).
+        quarantine: isolate per-query failures (the default).  An
+            exception escaping one query's pipeline — an operator bug, a
+            :class:`~repro.events.errors.ProtocolViolation` from its
+            sanitizer, an injected fault — detaches that query with a
+            captured error report; siblings keep running and
+            :meth:`statuses` / :meth:`error_reports` tell them apart.
+            ``quarantine=False`` restores fail-fast propagation.
+        fault_plan: a :class:`~repro.fault.FaultPlan` whose ``raise``
+            actions are armed on the matching query pipelines (query
+            indices are submission-order positions).
     """
 
     def __init__(self, queries, mutable_source: bool = False,
@@ -170,7 +217,9 @@ class MultiQueryRun:
                  dedup: bool = True, always_active: bool = False,
                  sanitize: Optional[bool] = None,
                  metrics: Optional[bool] = None,
-                 sample_interval: int = 256) -> None:
+                 sample_interval: int = 256,
+                 quarantine: bool = True,
+                 fault_plan=None) -> None:
         from ..core.multiplex import EventMultiplexer
         self.engines = []
         for q in queries:
@@ -203,7 +252,15 @@ class MultiQueryRun:
                              "number: {}".format(sorted(source_ids)))
         self.source_id = source_ids.pop() if source_ids else 0
         self.needs_oids = any(r.plan.needs_oids for r in self.runs)
-        self.mux = EventMultiplexer(self.runs, validate=validate)
+        self.mux = EventMultiplexer(self.runs, validate=validate,
+                                    quarantine=quarantine)
+        self.fault_plan = fault_plan
+        if fault_plan:
+            from ..fault import arm_stage_fault
+            for q, stage, at in fault_plan.stage_faults():
+                if 0 <= q < len(self._slots):
+                    arm_stage_fault(self.runs[self._slots[q]], stage, at,
+                                    query=q)
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -231,29 +288,90 @@ class MultiQueryRun:
                           emit_oids=self.needs_oids)
         return self.run(events)
 
+    # -- checkpoint / restore --------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Snapshot the whole executor mid-stream into one envelope.
+
+        The entire object graph — every pipeline, the multiplexer with
+        its shared stripper and guard, dedup aliasing, quarantine
+        records, armed faults — goes into one pickle, so restoring gives
+        back an executor whose continued run is byte-identical to never
+        having stopped.  This is the blob shard workers ship to their
+        supervisor (see :mod:`repro.parallel.shard`).
+        """
+        from ..fault.checkpoint import encode_checkpoint
+        return encode_checkpoint(
+            "multiquery", {"queries": list(self.query_texts)}, self)
+
+    @classmethod
+    def restore(cls, blob: bytes, queries=None) -> "MultiQueryRun":
+        """Rehydrate a :meth:`checkpoint` snapshot.
+
+        ``queries`` (optional) guards against feeding the wrong blob to
+        a restore site: the checkpointed query texts must match exactly.
+        Checkpoints are process-local, version-locked state transfer —
+        not durable archives (see DESIGN.md section 9).
+        """
+        from ..fault.checkpoint import decode_checkpoint, require_schema
+        schema, run = decode_checkpoint(blob, "multiquery")
+        if queries is not None:
+            require_schema(schema, {"queries": list(queries)})
+        return run
+
     # -- results ---------------------------------------------------------------
 
     def query_run(self, i: int) -> QueryRun:
         """The (possibly shared) live run serving query ``i``."""
         return self.runs[self._slots[i]]
 
-    def text(self, i: int) -> str:
-        return self.query_run(i).text()
+    def text(self, i: int) -> Optional[str]:
+        """Query ``i``'s current answer, or ``None`` once quarantined."""
+        slot = self._slots[i]
+        if slot in self.mux.quarantined:
+            return None
+        return self.runs[slot].text()
 
     def texts(self) -> list:
-        """Current answers, one per query, in construction order."""
-        return [self.runs[s].text() for s in self._slots]
+        """Current answers, one per query, in construction order.
+
+        Quarantined queries report ``None`` — their displays froze at an
+        arbitrary mid-stream point, so exposing the partial text would
+        present a wrong answer as a result.
+        """
+        quarantined = self.mux.quarantined
+        return [None if s in quarantined else self.runs[s].text()
+                for s in self._slots]
+
+    def statuses(self) -> list:
+        """Per-query health, submission order: ``"ok"``/``"quarantined"``."""
+        quarantined = self.mux.quarantined
+        return ["quarantined" if s in quarantined else "ok"
+                for s in self._slots]
+
+    def error_reports(self) -> dict:
+        """Query index -> captured error report for quarantined queries."""
+        quarantined = self.mux.quarantined
+        return {i: quarantined[s] for i, s in enumerate(self._slots)
+                if s in quarantined}
 
     def stats(self) -> dict:
         """Aggregate executor metrics plus the per-query breakdown.
 
         ``per_query`` is in submission order; deduplicated queries report
         their shared pipeline's stats.  Aggregate counters (transformer
-        calls, state cells) count each unique pipeline once.
+        calls, state cells) count each unique pipeline once.  Every
+        per-query entry carries a ``status`` key; the top-level
+        ``quarantined`` count says how many pipelines were detached.
         """
         stats = self.mux.stats()
+        quarantined = self.mux.quarantined
+        for s, entry in enumerate(stats["per_pipeline"]):
+            entry["status"] = ("quarantined" if s in quarantined
+                               else "ok")
         stats["queries"] = len(self._slots)
         stats["deduped"] = len(self._slots) - len(self.runs)
+        stats["quarantined"] = len(quarantined)
         stats["per_query"] = [stats["per_pipeline"][s]
                               for s in self._slots]
         if any(r.recorder is not None for r in self.runs):

@@ -1,0 +1,165 @@
+"""Checkpoint/restore round trips (repro.fault.checkpoint).
+
+The contract under test: snapshotting a live run mid-stream and
+restoring the blob — into the same object or a freshly compiled twin —
+then feeding the remaining events produces output *byte-identical* to
+the uninterrupted run.  This determinism is what the shard supervisor's
+restart-and-replay recovery rests on, so it is proved here for every
+paper query, at every batch boundary, for plain documents and for
+update-bearing streams.
+"""
+
+import pytest
+
+from repro.bench.harness import PAPER_QUERIES, QUERY_DATASET, Workloads
+from repro.data.stock import StockTicker
+from repro.fault import CheckpointError, decode_checkpoint, \
+    encode_checkpoint
+from repro.xquery.engine import MultiQueryRun, QueryRun, XFlux
+
+SCALE = 0.02
+BOUNDARIES = 5      # checkpoints taken per stream
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return Workloads(xmark_scale=SCALE, dblp_scale=SCALE)
+
+
+def _events_for(workloads, query):
+    plan = XFlux(query).compile()
+    dataset = None
+    for name, text in PAPER_QUERIES.items():
+        if text == query:
+            dataset = QUERY_DATASET[name]
+    return list(workloads.events(dataset, oids=plan.needs_oids))
+
+
+def _boundaries(n_events):
+    step = max(1, n_events // BOUNDARIES)
+    return list(range(step, n_events, step))
+
+
+class TestQueryRunRoundTrip:
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_restore_at_every_boundary_is_byte_identical(self, workloads,
+                                                         name):
+        query = PAPER_QUERIES[name]
+        events = _events_for(workloads, query)
+        expected = XFlux(query).run(events).text()
+
+        primary = XFlux(query).start()
+        cut = 0
+        for boundary in _boundaries(len(events)):
+            primary.feed_all(events[cut:boundary])
+            cut = boundary
+            blob = primary.checkpoint()
+            resumed = XFlux(query).start().restore(blob)
+            resumed.feed_all(events[boundary:])
+            assert resumed.finish().text() == expected, \
+                "{} diverged after restore at event {}".format(
+                    name, boundary)
+            assert resumed.display is resumed.pipeline.sink
+        # Checkpointing must be non-destructive: the primary run,
+        # snapshotted at every boundary, still finishes correctly.
+        primary.feed_all(events[cut:])
+        assert primary.finish().text() == expected
+
+    def test_update_stream_round_trip(self):
+        query = 'stream()//quote[name="IBM"]/price'
+        events = StockTicker(n_updates=60, mutable_names=True,
+                             name_update_fraction=0.4, seed=11).events()
+        engine = XFlux(query, mutable_source=True)
+        expected = engine.run(events).text()
+        half = len(events) // 2
+        first = engine.start()
+        first.feed_all(events[:half])
+        resumed = engine.start().restore(first.checkpoint())
+        resumed.feed_all(events[half:])
+        assert resumed.finish().text() == expected
+
+    def test_sanitize_and_metrics_survive(self, workloads):
+        query = PAPER_QUERIES["Q1"]
+        events = _events_for(workloads, query)
+        expected = XFlux(query).run(events).text()
+        half = len(events) // 2
+        run = XFlux(query).start(sanitize=True, metrics=True)
+        run.feed_all(events[:half])
+        resumed = XFlux(query).start(sanitize=True, metrics=True)
+        resumed.restore(run.checkpoint())
+        resumed.feed_all(events[half:])
+        assert resumed.finish().text() == expected
+        assert resumed.metrics() is not None
+
+    def test_wrong_query_rejected(self, workloads):
+        events = _events_for(workloads, PAPER_QUERIES["Q1"])
+        run = XFlux(PAPER_QUERIES["Q1"]).start()
+        run.feed_all(events[:100])
+        blob = run.checkpoint()
+        other = XFlux(PAPER_QUERIES["Q5"]).start()
+        with pytest.raises(CheckpointError):
+            other.restore(blob)
+
+
+class TestMultiQueryRunRoundTrip:
+    def test_executor_round_trip_with_dedup(self, workloads):
+        names = ["Q1", "Q2", "Q5"]
+        queries = [PAPER_QUERIES[n] for n in names]
+        queries.append(PAPER_QUERIES["Q1"])       # deduped duplicate
+        mq_ref = MultiQueryRun(queries)
+        mq_ref.run_xml(workloads.text("X"))
+        from repro.xmlio.tokenizer import tokenize
+        mq = MultiQueryRun(queries)
+        events = list(tokenize(workloads.text("X"),
+                               stream_id=mq.source_id,
+                               emit_oids=mq.needs_oids))
+        half = len(events) // 2
+        mq.feed_all(events[:half])
+        restored = MultiQueryRun.restore(mq.checkpoint(),
+                                         queries=queries)
+        restored.feed_all(events[half:])
+        restored.finish()
+        assert restored.texts() == mq_ref.texts()
+        # Dedup aliasing survives the pickle: the duplicate query is
+        # still served by the very same pipeline object.
+        assert restored.query_run(3) is restored.query_run(0)
+
+    def test_query_guard(self, workloads):
+        mq = MultiQueryRun([PAPER_QUERIES["Q1"]])
+        blob = mq.checkpoint()
+        with pytest.raises(CheckpointError):
+            MultiQueryRun.restore(blob, queries=[PAPER_QUERIES["Q2"]])
+        assert MultiQueryRun.restore(blob) is not None
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        blob = encode_checkpoint("pipeline", {"a": 1}, {"x": [1, 2]})
+        schema, state = decode_checkpoint(blob, "pipeline")
+        assert schema == {"a": 1} and state == {"x": [1, 2]}
+
+    def test_bad_magic(self):
+        blob = encode_checkpoint("pipeline", {}, {})
+        with pytest.raises(CheckpointError) as info:
+            decode_checkpoint(b"XXXX" + blob[4:], "pipeline")
+        assert "magic" in str(info.value)
+
+    def test_wrong_kind(self):
+        blob = encode_checkpoint("pipeline", {}, {})
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(blob, "multiquery")
+
+    def test_unknown_version(self):
+        blob = encode_checkpoint("pipeline", {}, {})
+        bumped = blob[:4] + bytes([blob[4] + 1]) + blob[5:]
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(bumped, "pipeline")
+
+    def test_truncated_payload(self):
+        blob = encode_checkpoint("pipeline", {}, {"k": "v"})
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(blob[:8], "pipeline")
+
+    def test_unpicklable_state(self):
+        with pytest.raises(CheckpointError):
+            encode_checkpoint("pipeline", {}, {"f": lambda: None})
