@@ -21,13 +21,12 @@ recorded next to the wall-clock overhead they bought.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..fault import FaultPlan
 from ..parallel import ShardedMultiQueryRun, available_workers
-from .harness import PAPER_QUERIES, QUERY_DATASET, Workloads
-from .multiquery import _dataset_groups
+from .harness import (PAPER_QUERIES, Workloads, best_of, dataset_groups,
+                      timed)
 
 DEFAULT_FAULT_PLAN = "kill:shard=0,after=3"
 
@@ -40,19 +39,22 @@ def _run_once(workloads: Workloads, groups, texts: Dict[str, str],
     counters = {"restarts": 0, "replayed_frames": 0, "checkpoints": 0,
                 "inline_takeovers": 0, "quarantined_queries": 0,
                 "duplicates_dropped": 0}
-    start = time.perf_counter()
-    for dataset, group in groups:
-        smq = ShardedMultiQueryRun(
-            [texts[n] for n in group], workers=workers,
-            batch_events=batch_events, fault_plan=plan)
-        smq.run_xml(workloads.text(dataset))
-        for n, answer, status in zip(group, smq.texts(), smq.statuses()):
-            outputs[n] = answer
-            statuses[n] = status
-        ft = smq.fault_stats()
-        for key in counters:
-            counters[key] += ft[key]
-    secs = time.perf_counter() - start
+
+    def go():
+        for dataset, group in groups:
+            smq = ShardedMultiQueryRun(
+                [texts[n] for n in group], workers=workers,
+                batch_events=batch_events, fault_plan=plan)
+            smq.run_xml(workloads.text(dataset))
+            for n, answer, status in zip(group, smq.texts(),
+                                         smq.statuses()):
+                outputs[n] = answer
+                statuses[n] = status
+            ft = smq.fault_stats()
+            for key in counters:
+                counters[key] += ft[key]
+
+    secs, _ = timed(go)
     return {"secs": secs, "outputs": outputs, "statuses": statuses,
             "counters": counters}
 
@@ -71,20 +73,17 @@ def bench_fault(workloads: Workloads, repeats: int = 3,
     names = list(queries) if queries is not None else list(PAPER_QUERIES)
     texts = {name: PAPER_QUERIES[name] for name in names}
     workers = workers if workers is not None else available_workers()
-    groups = _dataset_groups(names)
+    groups = dataset_groups(names)
     plan = FaultPlan.parse(fault_plan if fault_plan is not None
                            else DEFAULT_FAULT_PLAN)
 
-    clean = faulted = None
-    for _ in range(repeats):
-        c = _run_once(workloads, groups, texts, workers, batch_events,
-                      None)
-        if clean is None or c["secs"] < clean["secs"]:
-            clean = c
-        f = _run_once(workloads, groups, texts, workers, batch_events,
-                      plan)
-        if faulted is None or f["secs"] < faulted["secs"]:
-            faulted = f
+    by_secs = lambda r: r["secs"]  # noqa: E731 - ranking key, not a def
+    _, clean = best_of(repeats, lambda: _run_once(
+        workloads, groups, texts, workers, batch_events, None),
+        key=by_secs)
+    _, faulted = best_of(repeats, lambda: _run_once(
+        workloads, groups, texts, workers, batch_events, plan),
+        key=by_secs)
 
     diverging = [n for n in names
                  if faulted["statuses"][n] == "ok"

@@ -23,33 +23,12 @@ the single-process multiplexer (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..parallel import ShardedMultiQueryRun, available_workers
 from ..xquery.engine import MultiQueryRun, XFlux
-from .harness import PAPER_QUERIES, QUERY_DATASET, Workloads
-
-
-def _best(repeats: int, fn):
-    """Best-of-``repeats`` wall time; returns (secs, last_result)."""
-    best = None
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        secs = time.perf_counter() - start
-        if best is None or secs < best:
-            best = secs
-    return best, result
-
-
-def _dataset_groups(names: Sequence[str]) -> List[tuple]:
-    """Group query names by the dataset they read, stable order."""
-    groups: Dict[str, List[str]] = {}
-    for name in names:
-        groups.setdefault(QUERY_DATASET[name], []).append(name)
-    return sorted(groups.items())
+from .harness import (PAPER_QUERIES, QUERY_DATASET, Workloads, best_of,
+                      dataset_groups)
 
 
 def bench_multiquery(workloads: Workloads, repeats: int = 3,
@@ -60,7 +39,7 @@ def bench_multiquery(workloads: Workloads, repeats: int = 3,
     names = list(queries) if queries is not None else list(PAPER_QUERIES)
     texts = {name: PAPER_QUERIES[name] for name in names}
     workers = workers if workers is not None else available_workers()
-    groups = _dataset_groups(names)
+    groups = dataset_groups(names)
 
     # -- sequential: N independent engines, N tokenizer passes ------------
     seq_rows = []
@@ -69,8 +48,8 @@ def bench_multiquery(workloads: Workloads, repeats: int = 3,
     for name in names:
         doc = workloads.text(QUERY_DATASET[name])
         query = texts[name]
-        secs, run = _best(repeats, lambda q=query, d=doc:
-                          XFlux(q).run_xml(d))
+        secs, run = best_of(repeats, lambda q=query, d=doc:
+                            XFlux(q).run_xml(d))
         seq_outputs[name] = run.text()
         seq_total += secs
         seq_rows.append({"query": name, "dataset": QUERY_DATASET[name],
@@ -87,7 +66,7 @@ def bench_multiquery(workloads: Workloads, repeats: int = 3,
                 out[n] = answer
         return out
 
-    mux_secs, mux_outputs = _best(repeats, run_multiplex)
+    mux_secs, mux_outputs = best_of(repeats, run_multiplex)
 
     # -- sharded: partition each dataset's queries across workers ---------
     shard_meta: Dict[str, object] = {}
@@ -115,7 +94,7 @@ def bench_multiquery(workloads: Workloads, repeats: int = 3,
                           shards=shards, mode=mode)
         return out
 
-    sharded_secs, sharded_outputs = _best(repeats, run_sharded)
+    sharded_secs, sharded_outputs = best_of(repeats, run_sharded)
 
     identical = all(mux_outputs[n] == seq_outputs[n]
                     and sharded_outputs[n] == seq_outputs[n]

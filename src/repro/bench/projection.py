@@ -1,0 +1,194 @@
+"""Stream-projection benchmark (``BENCH_projection.json``).
+
+Measures what plan-driven projection (see ``repro/analysis/projection``
+and DESIGN.md section 10) buys at the tokenizer: every query runs twice
+from document text to final answer — projection off, then on — and the
+two answers are compared byte-for-byte *before* anything is recorded.
+A pruning win that changes an answer must fail loudly, not land in a
+JSON file.
+
+Three workload families exercise the three analysis regimes:
+
+* **paper queries Q1-Q9** — descendant-axis paths, prunable only with
+  the dataset schema (``//``-led paths could otherwise match anywhere);
+  Q4-Q6 need OIDs and fall back to the universal projection by design;
+* **child-axis companions P1/P2** — exact paths the analysis derives
+  with no schema help; the tokenizer skips every sibling subtree, the
+  pruning-heavy regime where scan-speed skipping should dominate;
+* **stock ticker** — a mutable update stream: the analysis *must*
+  return the universal projection (a skipped subtree could be the
+  target of a later update), so the row records the fallback, not a
+  speedup.
+
+A multi-query section runs the XMark paper queries through one shared
+:class:`~repro.xquery.engine.MultiQueryRun` with and without
+projection, measuring the second integration layer: the union
+projection feeds the shared tokenizer and per-query masks cut the
+per-event fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..xquery.engine import MultiQueryRun, XFlux
+from .harness import (PAPER_QUERIES, QUERY_DATASET, Workloads, best_of,
+                      dataset_groups)
+from .memory import STOCK_QUERY
+
+#: Child-axis companions to the paper queries (P = projection): exact
+#: paths, schema-free pruning, large irrelevant-subtree fractions.
+#: Engine child steps start at the root's *children* (the root element
+#: consumes no step), hence no leading ``site``/``dblp`` component.
+EXTRA_QUERIES: Dict[str, str] = {
+    "P1": "X/regions/europe/item/quantity",
+    "P2": "D/inproceedings/title",
+}
+
+EXTRA_DATASET = {"P1": "X", "P2": "D"}
+
+#: Schema refinement per dataset (names resolved by ``known_schema``).
+DATASET_SCHEMA = {"X": "xmark", "D": "dblp"}
+
+
+def _query_row(workloads: Workloads, name: str, query: str,
+               dataset: str, repeats: int) -> Dict:
+    doc = workloads.text(dataset)
+    schema = DATASET_SCHEMA[dataset]
+    size_mb = len(doc) / 1e6
+
+    off_secs, off_run = best_of(
+        repeats, lambda: XFlux(query).run_xml(doc))
+    on_secs, on_run = best_of(
+        repeats,
+        lambda: XFlux(query).run_xml(doc, projection=True, schema=schema))
+    if on_run.text() != off_run.text():
+        raise AssertionError(
+            "projection changed the answer for {}".format(name))
+
+    proj = on_run.projection
+    stats = on_run.projection_stats
+    return {
+        "query": name,
+        "xquery": query,
+        "dataset": dataset,
+        "schema": schema,
+        "projection": proj.to_dict() if proj is not None else None,
+        "pruning_active": stats is not None,
+        "secs_off": round(off_secs, 6),
+        "secs_on": round(on_secs, 6),
+        "mb_per_s_off": round(size_mb / off_secs, 3) if off_secs else None,
+        "mb_per_s_on": round(size_mb / on_secs, 3) if on_secs else None,
+        "speedup": round(off_secs / on_secs, 3) if on_secs else None,
+        "events_pruned_ratio": (round(stats.pruned_ratio(), 4)
+                                if stats is not None else 0.0),
+        "tokenizer": stats.to_dict() if stats is not None else None,
+        "identical": True,
+    }
+
+
+def _ticker_row(repeats: int, stock_updates: int) -> Dict:
+    from ..analysis.projection import derive_projection
+    from ..data.stock import StockTicker
+
+    plan = XFlux(STOCK_QUERY, mutable_source=True).compile()
+    proj = derive_projection(plan)
+    events = StockTicker(n_updates=stock_updates).events()
+    secs, _ = best_of(
+        repeats,
+        lambda: XFlux(STOCK_QUERY, mutable_source=True).run(events))
+    return {
+        "query": "stock",
+        "xquery": STOCK_QUERY,
+        "dataset": "ticker",
+        "projection": proj.to_dict(),
+        "pruning_active": False,
+        "secs": round(secs, 6),
+        "events": len(events),
+        "events_per_s": round(len(events) / secs) if secs else None,
+        "note": ("mutable update stream: the analysis returns the "
+                 "universal projection, because a subtree irrelevant "
+                 "now may be the target of a later update"),
+    }
+
+
+def _multiquery_section(workloads: Workloads, names: Sequence[str],
+                        repeats: int) -> Dict:
+    texts = {n: PAPER_QUERIES[n] for n in names}
+    groups = dataset_groups(names)
+
+    def run_once(projection: bool):
+        out: Dict[str, str] = {}
+        summaries = []
+        for dataset, group in groups:
+            mq = MultiQueryRun(
+                [texts[n] for n in group], projection=projection,
+                schema=DATASET_SCHEMA[dataset] if projection else None)
+            mq.run_xml(workloads.text(dataset))
+            for n, answer in zip(group, mq.texts()):
+                out[n] = answer
+            if projection:
+                summaries.append(mq.projection_summary())
+        return out, summaries
+
+    off_secs, (off_out, _) = best_of(repeats, lambda: run_once(False))
+    on_secs, (on_out, summaries) = best_of(repeats,
+                                           lambda: run_once(True))
+    diverging = [n for n in names if on_out[n] != off_out[n]]
+    if diverging:
+        raise AssertionError(
+            "multi-query projection changed answers for {}"
+            .format(diverging))
+    return {
+        "queries": list(names),
+        "secs_off": round(off_secs, 6),
+        "secs_on": round(on_secs, 6),
+        "speedup": round(off_secs / on_secs, 3) if on_secs else None,
+        "mask_events_dropped": sum(s.get("mask_events_dropped", 0)
+                                   for s in summaries),
+        "tokenizer_pruning": [bool(s.get("tokenizer_pruning"))
+                              for s in summaries],
+        "identical": True,
+    }
+
+
+def bench_projection(workloads: Workloads, repeats: int = 3,
+                     queries: Optional[Sequence[str]] = None,
+                     stock_updates: int = 2000) -> Dict:
+    """Projection-off versus projection-on over every workload family."""
+    if queries is not None:
+        names = list(queries)
+    else:
+        names = list(PAPER_QUERIES) + list(EXTRA_QUERIES)
+    all_texts = dict(PAPER_QUERIES, **EXTRA_QUERIES)
+    all_datasets = dict(QUERY_DATASET, **EXTRA_DATASET)
+
+    rows: List[Dict] = []
+    for name in names:
+        rows.append(_query_row(workloads, name, all_texts[name],
+                               all_datasets[name], repeats))
+
+    paper_names = [n for n in names if n in PAPER_QUERIES
+                   and QUERY_DATASET[n] == "X"]
+    payload = {
+        "queries": rows,
+        "ticker": _ticker_row(repeats, stock_updates),
+        "identical_outputs": True,
+    }
+    if paper_names:
+        payload["multiquery"] = _multiquery_section(
+            workloads, paper_names, repeats)
+
+    pruned = [r for r in rows if r["pruning_active"]]
+    payload["summary"] = {
+        "pruning_active_queries": [r["query"] for r in pruned],
+        "universal_fallback_queries": [
+            r["query"] for r in rows
+            if r["projection"] is not None and r["projection"]["universal"]],
+        "best_speedup": max((r["speedup"] for r in pruned),
+                            default=None),
+        "best_speedup_query": max(
+            pruned, key=lambda r: r["speedup"] or 0.0,
+            default={"query": None})["query"],
+    }
+    return payload

@@ -19,6 +19,9 @@ Options:
                        print it as JSON to stderr (also: REPRO_METRICS=1)
     --sanitize         validate the inter-stage event protocol while
                        running (also: REPRO_SANITIZE=1)
+    --projection       derive the plan's path projection and skip
+                       irrelevant subtrees in the tokenizer (add
+                       --schema xmark|dblp to sharpen //-led paths)
     --query-file FILE  read the query text from a file instead of argv
 
 There is also a benchmark subcommand that records the paper's evaluation
@@ -26,6 +29,7 @@ quantities as machine-readable JSON (see repro.bench.record):
 
     python -m repro bench --scale 0.1 --repeats 3 --out-dir .
     python -m repro bench --memory --out-dir .
+    python -m repro bench --projection --out-dir .
 
 a static plan analyzer that lints a compiled pipeline without
 running it — per-stage memory classes, the precomputed fix map, update
@@ -89,6 +93,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--sanitize", action="store_true",
                     help="validate the inter-stage event protocol while "
                          "running (raises on the first violation)")
+    ap.add_argument("--projection", action="store_true",
+                    help="derive the plan's path projection and skip "
+                         "irrelevant subtrees in the tokenizer (XML "
+                         "input only; byte-identical by construction)")
+    ap.add_argument("--schema",
+                    help="schema refinement for --projection: 'xmark' "
+                         "or 'dblp'")
     return ap
 
 
@@ -112,6 +123,12 @@ def build_analyze_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--sanitize", action="store_true",
                     help="interpose protocol checkers during the "
                          "--input run")
+    ap.add_argument("--projection", action="store_true",
+                    help="also print the derived stream projection "
+                         "(path set, or the universal fallback and why)")
+    ap.add_argument("--schema",
+                    help="schema refinement for the projection: "
+                         "'xmark' or 'dblp'")
     ap.add_argument("--json", action="store_true",
                     help="emit the report as JSON instead of text")
     return ap
@@ -137,12 +154,30 @@ def analyze_main(argv, out, err) -> int:
         engine = XFlux(query_text, mutable_source=args.mutable_source)
         plan = engine.compile()
         report = analyze_plan(plan)
+        from .analysis.projection import (ProjectionMatcher,
+                                          derive_projection)
+        proj = derive_projection(plan)
+        prunable = ProjectionMatcher(proj, schema=args.schema).prunable
     except Exception as exc:  # parse/compile diagnostics for the user
         print("error: {}".format(exc), file=err)
         return 2
     payload = report_to_dict(report) if args.json else None
+    if payload is not None:
+        payload["projection"] = dict(proj.to_dict(), prunable=prunable,
+                                     schema=args.schema)
     if not args.json:
         print(render_report(report), file=out)
+        if args.projection:
+            if proj.universal:
+                print("projection: universal ({})".format(
+                    proj.reason or "paths cover the whole document"),
+                    file=out)
+            else:
+                print("projection paths ({}):".format(
+                    "prunable" if prunable else
+                    "not prunable without a schema"), file=out)
+                for path in proj.describe():
+                    print("  {}".format(path), file=out)
 
     if args.input is None:
         if args.json:
@@ -199,6 +234,13 @@ def build_telemetry_arg_parser(prog: str,
     ap.add_argument("--sample-interval", type=int, default=256,
                     help="source events between footprint samples "
                          "(default 256)")
+    ap.add_argument("--projection", action="store_true",
+                    help="prune irrelevant subtrees in the tokenizer; "
+                         "the pruning counters land in the metrics JSON "
+                         "(XML input only)")
+    ap.add_argument("--schema",
+                    help="schema refinement for --projection: 'xmark' "
+                         "or 'dblp'")
     ap.add_argument("--out", help="write the JSON here instead of stdout")
     ap.add_argument("--indent", type=int, default=2,
                     help="JSON indentation (default 2)")
@@ -237,9 +279,34 @@ def telemetry_main(argv, out, err, tracing: bool) -> int:
         text = _read_text(None)  # stdin
         events = _event_source(text, args.events, plan.needs_oids)
 
+    projection_counters = None
+    if args.projection and not args.events:
+        from .analysis.projection import (ProjectionMatcher,
+                                          derive_projection)
+        schema = args.schema
+        if schema is None and args.input is None \
+                and args.query in PAPER_QUERIES:
+            # Synthesized benchmark datasets have a known shape.
+            schema = ("dblp" if QUERY_DATASET[args.query] == "D"
+                      else "xmark")
+        try:
+            matcher = ProjectionMatcher(derive_projection(plan),
+                                        schema=schema)
+        except ValueError as exc:
+            print("error: {}".format(exc), file=err)
+            return 2
+        if matcher.prunable:
+            tok = XMLTokenizer(projection=matcher)
+            # Materialize so the counters are final before they are
+            # snapshotted into the recorder below.
+            events = list(tok.tokenize(text))
+            projection_counters = tok.projection_stats.counter_dict()
+
     from .xquery.engine import QueryRun
     run = QueryRun(plan, metrics=True, trace=tracing,
                    sample_interval=args.sample_interval)
+    if projection_counters is not None:
+        run.recorder.projection = projection_counters
     try:
         run.feed_all(events)
         run.finish()
@@ -425,16 +492,25 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--fault-plan",
                     help="fault spec for --fault (default: "
                          "kill:shard=0,after=3; see repro.fault)")
+    ap.add_argument("--projection", action="store_true",
+                    help="benchmark stream projection instead: "
+                         "off vs on per query, byte-identity verified; "
+                         "writes BENCH_projection.json")
     return ap
 
 
 def bench_main(argv, out, err) -> int:
     from .bench.record import (write_bench_files, write_fault_file,
-                               write_memory_file, write_multiquery_file)
+                               write_memory_file, write_multiquery_file,
+                               write_projection_file)
     args = build_bench_arg_parser().parse_args(list(argv))
     queries = args.queries.split(",") if args.queries else None
     try:
-        if args.fault or args.fault_plan:
+        if args.projection:
+            paths = write_projection_file(
+                out_dir=args.out_dir, scale=args.scale,
+                repeats=args.repeats, queries=queries, err=err)
+        elif args.fault or args.fault_plan:
             paths = write_fault_file(
                 out_dir=args.out_dir, scale=args.scale,
                 repeats=args.repeats, workers=args.workers,
@@ -520,12 +596,32 @@ def main(argv: Optional[Iterable[str]] = None,
         print("error: {}".format(exc), file=err)
         return 2
 
+    proj = None
+    proj_tok = None
+    if args.projection:
+        if args.events:
+            print("error: --projection applies to XML input, not "
+                  "--events streams", file=err)
+            return 2
+        from .analysis.projection import (ProjectionMatcher,
+                                          derive_projection)
+        try:
+            proj = derive_projection(plan)
+            matcher = ProjectionMatcher(proj, schema=args.schema)
+        except ValueError as exc:
+            print("error: {}".format(exc), file=err)
+            return 2
+        if matcher.prunable:
+            proj_tok = XMLTokenizer(projection=matcher)
+
     text = _read_text(input_path)
     run = engine.start(sanitize=True if args.sanitize else None,
                        metrics=True if args.metrics else None)
     shown: Optional[str] = None
+    source = (proj_tok.tokenize(text) if proj_tok is not None
+              else _event_source(text, args.events, plan.needs_oids))
     try:
-        for event in _event_source(text, args.events, plan.needs_oids):
+        for event in source:
             run.feed(event)
             if args.follow:
                 current = run.text()
@@ -536,6 +632,9 @@ def main(argv: Optional[Iterable[str]] = None,
     except Exception as exc:
         print("error: {}".format(exc), file=err)
         return 1
+    if proj_tok is not None and run.recorder is not None:
+        # Counters are final only now — the tokenizer streamed lazily.
+        run.recorder.projection = proj_tok.projection_stats.counter_dict()
 
     final = run.text()
     if not args.follow or final != shown:
@@ -545,6 +644,15 @@ def main(argv: Optional[Iterable[str]] = None,
         print("transformer_calls={} state_cells={} stages={}".format(
             stats["transformer_calls"], stats["state_cells"],
             stats["stages"]), file=err)
+        if proj_tok is not None:
+            ps = proj_tok.projection_stats
+            print("projection: events_pruned={} bytes_skipped={} "
+                  "subtrees_skipped={} pruned_ratio={:.4f}".format(
+                      ps.events_pruned, ps.bytes_skipped,
+                      ps.subtrees_skipped, ps.pruned_ratio()), file=err)
+        elif proj is not None:
+            print("projection: universal ({})".format(
+                proj.reason or "not prunable for this input"), file=err)
     if args.metrics:
         import json
         metrics = run.metrics()

@@ -120,6 +120,20 @@ class EventMultiplexer:
         self.raw_events_out = 0
         self.stripped_events_out = 0
         self._finished = False
+        #: run index -> per-query projection mask (see
+        #: :class:`repro.analysis.projection.ProjectionMask`).  Installed
+        #: by the owning executor; empty means the unmasked fast path.
+        self._masks: Dict[int, object] = {}
+
+    def set_masks(self, masks: Dict[int, object]) -> None:
+        """Install per-pipeline projection masks (run index -> mask).
+
+        Masked pipelines receive, per batch, only the events their own
+        query's projection can reach; unmasked pipelines keep the shared
+        by-reference batch.  Masks never apply to update-control events
+        (each mask disables itself on the first one it sees).
+        """
+        self._masks = dict(masks)
 
     def feed(self, event: Event) -> None:
         self.feed_batch((event,))
@@ -150,6 +164,9 @@ class EventMultiplexer:
         if self.guard is not None:
             self.guard.check_batch(batch)
         quarantine = self.quarantine
+        if self._masks:
+            self._feed_batch_masked(batch)
+            return
         if self._stripper is not None:
             stripper_feed = self._stripper.feed
             stripped = [out for e in batch for out in stripper_feed(e)]
@@ -174,6 +191,36 @@ class EventMultiplexer:
         else:
             for _, pipeline in self._raw_pipelines:
                 pipeline.feed_batch(batch)
+
+    def _feed_batch_masked(self, batch: Sequence[Event]) -> None:
+        """Mask-aware fan-out: per-pipeline filtering and counters."""
+        masks = self._masks
+        quarantine = self.quarantine
+        if self._stripper is not None:
+            stripper_feed = self._stripper.feed
+            stripped = [out for e in batch for out in stripper_feed(e)]
+            for i, pipeline in list(self._stripped_pipelines):
+                mask = masks.get(i)
+                feed = stripped if mask is None else mask.filter(stripped)
+                self.stripped_events_out += len(feed)
+                if quarantine:
+                    try:
+                        pipeline.feed_batch(feed)
+                    except Exception as exc:
+                        self._quarantine(i, exc)
+                else:
+                    pipeline.feed_batch(feed)
+        for i, pipeline in list(self._raw_pipelines):
+            mask = masks.get(i)
+            feed = batch if mask is None else mask.filter(batch)
+            self.raw_events_out += len(feed)
+            if quarantine:
+                try:
+                    pipeline.feed_batch(feed)
+                except Exception as exc:
+                    self._quarantine(i, exc)
+            else:
+                pipeline.feed_batch(feed)
 
     def finish(self) -> None:
         if self._finished:
@@ -206,6 +253,7 @@ class EventMultiplexer:
                 "stripped_pipelines": len(self._stripped_pipelines),
                 "raw_events_out": self.raw_events_out,
                 "stripped_events_out": self.stripped_events_out,
+                "masked_pipelines": len(self._masks),
             },
             "shared_strip": self._stripper is not None,
             "validated_events": (self.guard.events_checked

@@ -204,6 +204,16 @@ class StateTransformer:
           (cardinality: ``"stream"``, ``"item"``, ``"tuple"``, ``"match"``
           or ``"nested"``).
         * ``notes`` — free-form remark surfaced in the lint report.
+        * ``projection`` — how the stage transforms element *paths* for
+          the stream-projection analyzer (:mod:`repro.analysis.projection`).
+          One of ``{"kind": "step", "axis": "child"|"descendant",
+          "tag": ...}`` (navigation: output paths extend input paths by
+          one step), ``{"kind": "plumbing"}`` (copies/reorders/wraps
+          without reading element content), ``{"kind": "content"}``
+          (reads its input's content — the consumed subtrees must be
+          kept whole; the safe default), or ``{"kind": "opaque"}``
+          (defeats path analysis entirely — forces the universal
+          projection).
 
         The base class describes an inert pass-through stage; every
         update-originating operator overrides this.
@@ -215,6 +225,7 @@ class StateTransformer:
             "generates_updates": (),
             "brackets": (),
             "notes": "",
+            "projection": {"kind": "content"},
         }
 
     # -- the state modifier F ----------------------------------------------

@@ -85,6 +85,25 @@ class DBLPGenerator:
         return "".join(parts)
 
 
+def element_children():
+    """The generator's element containment map (tag -> child tags).
+
+    Consumed by the projection analyzer's schema refinement
+    (:func:`repro.analysis.projection.known_schema`); leaf elements map
+    to an empty tuple (provably no element children).
+    """
+    return {
+        "dblp": ("inproceedings", "article"),
+        "inproceedings": ("author", "title", "booktitle", "year"),
+        "article": ("author", "title", "journal", "year"),
+        "author": (),
+        "title": (),
+        "booktitle": (),
+        "journal": (),
+        "year": (),
+    }
+
+
 def generate(scale: float = 0.1, seed: int = 7) -> str:
     """Convenience: generate a DBLP-like document string."""
     return DBLPGenerator(scale=scale, seed=seed).text()

@@ -115,6 +115,34 @@ class XMarkGenerator:
         return "".join(parts)
 
 
+def element_children():
+    """The generator's element containment map (tag -> child tags).
+
+    This is the document "DTD" the projection analyzer's schema
+    refinement consumes (:func:`repro.analysis.projection.known_schema`):
+    any element absent from the map is treated as able to contain
+    anything, so the map only needs to cover what the generator emits.
+    Leaf elements map to an empty tuple (provably no element children).
+    """
+    region_map = {region: ("item",) for region in REGIONS}
+    schema = {
+        "site": ("regions",),
+        "regions": REGIONS,
+        "item": ("location", "quantity", "name", "payment",
+                 "description"),
+        "location": (),
+        "quantity": (),
+        "name": (),
+        "payment": (),
+        "description": ("parlist",),
+        "parlist": ("listitem",),
+        "listitem": ("text", "parlist"),
+        "text": (),
+    }
+    schema.update(region_map)
+    return schema
+
+
 def generate(scale: float = 0.1, seed: int = 42) -> str:
     """Convenience: generate an XMark-like document string."""
     return XMarkGenerator(scale=scale, seed=seed).text()

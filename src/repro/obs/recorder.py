@@ -175,6 +175,11 @@ class MetricsRecorder:
         self.stages: List[StageMetrics] = []
         self.source_events = 0
         self.sink_counts = [0] * _N_KINDS
+        #: Stream-projection counters (events pruned, bytes skipped,
+        #: mask drops) — a *live* dict reference installed by the owning
+        #: executor, so counter mutations show up in to_dict() without a
+        #: per-event hook here.  None when no projection is active.
+        self.projection: Optional[Dict[str, int]] = None
         self._wrappers: Sequence = ()
         self.tracing = trace
         if trace:
@@ -228,6 +233,8 @@ class MetricsRecorder:
             "activations_total": sum(sm.activations
                                      for sm in self.stages),
         }
+        if self.projection is not None:
+            out["projection"] = dict(self.projection)
         if self.trace is not None:
             out["trace"] = self.trace.to_dict()
         return out
@@ -273,6 +280,7 @@ def merge_metrics(dicts: Sequence[dict]) -> dict:
         "activations_total": 0,
         "pipelines": 0,
     }
+    projection: Dict[str, int] = {}
     for d in dicts:
         if d is None:
             continue
@@ -288,4 +296,8 @@ def merge_metrics(dicts: Sequence[dict]) -> dict:
         for key in ("peak_cells_total", "cells_reclaimed_total",
                     "freezes_total", "activations_total"):
             merged[key] += d.get(key, 0)
+        for key, value in d.get("projection", {}).items():
+            projection[key] = projection.get(key, 0) + value
+    if projection:
+        merged["projection"] = projection
     return merged

@@ -50,6 +50,9 @@ def _aggregate_facts(agg: StateTransformer, state_class: str,
         ),
         notes=notes,
     )
+    # Aggregates read their input items (boundaries and, for numeric
+    # aggregates, text) — keep the consumed subtrees whole.
+    facts["projection"] = {"kind": "content"}
     return facts
 
 

@@ -35,6 +35,12 @@ class ChildStep(StateTransformer):
         self.depth = 0
         self.passing = False
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts["projection"] = {"kind": "step", "axis": "child",
+                               "tag": self.tag}
+        return facts
+
     def get_state(self) -> State:
         return (self.depth, self.passing)
 
@@ -77,6 +83,13 @@ class TextStep(StateTransformer):
         super().__init__(ctx, (input_id,), output_id)
         self.depth = 0
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        # "content": the text() step reads character data inside its
+        # input items, so those items' subtrees must be kept whole.
+        facts["projection"] = {"kind": "content"}
+        return facts
+
     def get_state(self) -> State:
         return (self.depth,)
 
@@ -106,6 +119,11 @@ class SelfStep(StateTransformer):
     def __init__(self, ctx: Context, input_id: int, output_id: int) -> None:
         super().__init__(ctx, (input_id,), output_id)
 
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts["projection"] = {"kind": "plumbing"}
+        return facts
+
     def process(self, e: Event) -> List[Event]:
         return [e.relabel(self.output_id)]
 
@@ -131,6 +149,7 @@ class StringValue(StateTransformer):
         facts = super().static_facts()
         facts.update(state_class="buffering",
                      notes="accumulates the current item's text")
+        facts["projection"] = {"kind": "content"}
         return facts
 
     def get_state(self) -> State:

@@ -88,6 +88,9 @@ class AncestorJoin(StateTransformer):
             notes="per-candidate optimistic region; shared source-position "
                   "registers live outside wrapper state",
         )
+        # Backward axes correlate distant parts of the document through
+        # oid registers — no forward path argument covers them.
+        facts["projection"] = {"kind": "opaque", "note": "backward axis"}
         return facts
 
     def get_state(self) -> State:

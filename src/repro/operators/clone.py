@@ -39,6 +39,7 @@ class Tee(StateTransformer):
         facts = super().static_facts()
         facts.update(notes="brackets re-emitted with fresh region numbers "
                            "on the copy (TEE policy)")
+        facts["projection"] = {"kind": "plumbing"}
         return facts
 
     def process(self, e: Event) -> List[Event]:

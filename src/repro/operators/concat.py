@@ -52,6 +52,7 @@ class Concat(StateTransformer):
             notes="stateless; reuses the input stream numbers as region "
                   "numbers, one region pair per tuple, never frozen",
         )
+        facts["projection"] = {"kind": "plumbing"}
         return facts
 
     def process(self, e: Event) -> List[Event]:

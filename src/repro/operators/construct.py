@@ -166,10 +166,12 @@ class TupleConstruct(TupleRegionMixin, StateTransformer):
         self._init_tuple_region(seal)
 
     def static_facts(self) -> dict:
-        return self._tuple_region_facts(
+        facts = self._tuple_region_facts(
             super().static_facts(),
             "per-tuple wrapper element in a region slaved to the tuple's "
             "source regions (sealed when they all freeze)")
+        facts["projection"] = {"kind": "plumbing"}
+        return facts
 
     def get_state(self) -> State:
         return self._tuple_region_state()

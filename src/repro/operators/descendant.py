@@ -74,6 +74,8 @@ class DescendantStep(StateTransformer):
                   "subtree close" if self.freeze_regions else
                   "O(nesting depth) open-level stack",
         )
+        facts["projection"] = {"kind": "step", "axis": "descendant",
+                               "tag": self.tag}
         return facts
 
     def get_state(self) -> State:

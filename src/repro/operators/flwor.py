@@ -89,6 +89,9 @@ class ForTuples(StateTransformer):
                   "source freezes), within-item brackets are retargeted "
                   "and forwarded",
         )
+        # Tuple brackets are driven by item boundaries, which survive any
+        # sound projection (spine elements are never pruned).
+        facts["projection"] = {"kind": "plumbing"}
         return facts
 
     def get_state(self) -> State:

@@ -179,10 +179,15 @@ class LiteralText(TupleRegionMixin, StateTransformer):
         self._init_tuple_region(seal)
 
     def static_facts(self) -> dict:
-        return self._tuple_region_facts(
+        facts = self._tuple_region_facts(
             super().static_facts(),
             "per-tuple literal in a region slaved to the tuple's source "
             "regions (sealed when they all freeze)")
+        # "content": pacing comes from the tuple stream itself, so its
+        # items must survive projection even when nothing else reads them
+        # (a constant-return FLWOR still emits one literal per tuple).
+        facts["projection"] = {"kind": "content"}
+        return facts
 
     def get_state(self) -> State:
         return self._tuple_region_state()

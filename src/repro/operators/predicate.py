@@ -334,6 +334,9 @@ class Predicate(StateTransformer):
                   "revocable decisions: per-item flags retained until "
                   "frozen",
         )
+        # "content": the inline condition pipelines navigate within each
+        # item, so whole item subtrees must survive projection.
+        facts["projection"] = {"kind": "content"}
         return facts
 
     # -- state plumbing --------------------------------------------------------

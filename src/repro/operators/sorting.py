@@ -97,6 +97,7 @@ class SortTuples(StateTransformer):
                   "paper's noted unbounded case); placements stay "
                   "mutable so late items can be inserted between them",
         )
+        facts["projection"] = {"kind": "plumbing"}
         return facts
 
     def get_state(self) -> State:

@@ -810,6 +810,14 @@ class ShardedMultiQueryRun:
         ack_interval / checkpoint_interval: frames between worker
             acknowledgements / shipped checkpoints.
         journal_limit: maximum broadcast frames retained for replay.
+        projection: enable plan-driven stream projection.  The parent's
+            tokenizer prunes with the union projection (one pass, like
+            the single-process executor); each worker's ``MultiQueryRun``
+            builds the same per-query masks for its shard, so mask
+            counters shipped home merge to the single-process totals.
+        schema: optional DTD refinement for the projection matchers
+            (name ``"xmark"``/``"dblp"`` or an ``ElementSchema``; must
+            be picklable to cross the fork boundary).
     """
 
     def __init__(self, queries: Sequence[str],
@@ -828,7 +836,9 @@ class ShardedMultiQueryRun:
                  restart_backoff: float = 0.05,
                  ack_interval: int = 1,
                  checkpoint_interval: int = 16,
-                 journal_limit: int = 1024) -> None:
+                 journal_limit: int = 1024,
+                 projection: bool = False,
+                 schema=None) -> None:
         self.query_texts: List[str] = []
         for q in queries:
             if not isinstance(q, str):
@@ -854,15 +864,23 @@ class ShardedMultiQueryRun:
                              always_active=always_active,
                              metrics=metrics,
                              sample_interval=sample_interval,
-                             quarantine=quarantine)
+                             quarantine=quarantine,
+                             projection=projection,
+                             schema=schema)
         # Compile in the parent first: fail fast on a bad query before
         # any process is forked, and learn the stream metadata the
-        # tokenizer needs (oids, source stream number).  The probe never
-        # runs, so it records nothing.
+        # tokenizer needs (oids, source stream number, projection).  The
+        # probe never runs, so it records nothing.
         probe = MultiQueryRun(self.query_texts,
                               **dict(engine_kwargs, metrics=False))
         self.needs_oids = probe.needs_oids
         self.source_id = probe.source_id
+        #: Union projection / tokenizer matcher, mirrored off the probe
+        #: so the parent's run_xml prunes exactly like the
+        #: single-process executor's would.
+        self.projection = probe.projection
+        self._projection_matcher = probe.projection_matcher
+        self.projection_stats = None
         self.shards_indices = shard_queries(len(self.query_texts),
                                             self.workers, weights)
         ctx = _fork_context()
@@ -964,6 +982,13 @@ class ShardedMultiQueryRun:
 
     def run_xml(self, text: str) -> "ShardedMultiQueryRun":
         """Evaluate over an XML document: one parent-side tokenizer pass."""
+        if self._projection_matcher is not None:
+            from ..xmlio.tokenizer import XMLTokenizer
+            tok = XMLTokenizer(stream_id=self.source_id,
+                               projection=self._projection_matcher)
+            events = list(tok.tokenize(text))
+            self.projection_stats = tok.projection_stats
+            return self.run(events)
         events = tokenize(text, stream_id=self.source_id,
                           emit_oids=self.needs_oids)
         return self.run(events)
@@ -1041,6 +1066,14 @@ class ShardedMultiQueryRun:
             "statuses": self.statuses(),
             "fault_tolerance": self.fault_stats(),
         }
+        if self.projection is not None:
+            proj = {
+                "union": self.projection.to_dict(),
+                "tokenizer_pruning": self._projection_matcher is not None,
+            }
+            if self.projection_stats is not None:
+                proj["tokenizer"] = self.projection_stats.to_dict()
+            out["projection"] = proj
         merged = self.metrics()
         if merged is not None:
             out["metrics"] = merged
@@ -1077,7 +1110,17 @@ class ShardedMultiQueryRun:
         from ..obs import merge_metrics
         dicts = [r["stats"]["metrics"] for r in self._results
                  if r.get("stats") and "metrics" in r["stats"]]
-        return merge_metrics(dicts) if dicts else None
+        if not dicts:
+            return None
+        merged = merge_metrics(dicts)
+        # Tokenizer pruning happened once, in the parent — add its
+        # counters exactly once so the totals match a single-process
+        # projection run over the same stream.
+        if self.projection_stats is not None:
+            proj = merged.setdefault("projection", {})
+            for key, value in self.projection_stats.counter_dict().items():
+                proj[key] = proj.get(key, 0) + value
+        return merged
 
     def __repr__(self) -> str:
         return "ShardedMultiQueryRun({} queries, {} workers, {})".format(

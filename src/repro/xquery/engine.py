@@ -82,6 +82,11 @@ class QueryRun:
                                  reclaim_on_freeze=reclaim_on_freeze)
         from ..events.model import UpdateStripper
         self._stripper = UpdateStripper() if ignore_updates else None
+        #: Set by projection-aware drivers (XFlux.run_xml with
+        #: ``projection=True``): the derived QueryProjection and the
+        #: tokenizer's pruning counters.
+        self.projection = None
+        self.projection_stats = None
 
     def feed(self, event: Event) -> None:
         if self._stripper is not None:
@@ -164,6 +169,11 @@ class QueryRun:
             "stages": len(self.pipeline.wrappers),
             "per_stage": self.pipeline.stage_accounts(),
         }
+        if self.projection is not None:
+            out["projection"] = self.projection.to_dict()
+            if self.projection_stats is not None:
+                out["projection"]["tokenizer"] = \
+                    self.projection_stats.to_dict()
         if self.recorder is not None:
             out["metrics"] = self.recorder.to_dict()
         return out
@@ -210,6 +220,15 @@ class MultiQueryRun:
         fault_plan: a :class:`~repro.fault.FaultPlan` whose ``raise``
             actions are armed on the matching query pipelines (query
             indices are submission-order positions).
+        projection: derive each plan's path projection
+            (:mod:`repro.analysis.projection`).  The union projection
+            drives the shared tokenizer's subtree skipping in
+            :meth:`run_xml`; per-query masks then cut each pipeline's
+            fan-out dispatch down to the events its own query can
+            reach.  Results are byte-identical by construction.
+        schema: optional DTD refinement for the projection matchers
+            (an :class:`~repro.analysis.projection.ElementSchema` or
+            the name ``"xmark"``/``"dblp"``).
     """
 
     def __init__(self, queries, mutable_source: bool = False,
@@ -219,7 +238,9 @@ class MultiQueryRun:
                  metrics: Optional[bool] = None,
                  sample_interval: int = 256,
                  quarantine: bool = True,
-                 fault_plan=None) -> None:
+                 fault_plan=None,
+                 projection: bool = False,
+                 schema=None) -> None:
         from ..core.multiplex import EventMultiplexer
         self.engines = []
         for q in queries:
@@ -254,6 +275,34 @@ class MultiQueryRun:
         self.needs_oids = any(r.plan.needs_oids for r in self.runs)
         self.mux = EventMultiplexer(self.runs, validate=validate,
                                     quarantine=quarantine)
+        #: Union projection across unique pipelines (None when off).
+        self.projection = None
+        #: Tokenizer-side matcher for run_xml (None when nothing prunes).
+        self.projection_matcher = None
+        #: Tokenizer pruning counters, set by run_xml.
+        self.projection_stats = None
+        self._masks = {}
+        if projection:
+            from ..analysis.projection import (ProjectionMask,
+                                               ProjectionMatcher,
+                                               derive_projection,
+                                               union_projection)
+            projections = [derive_projection(r.plan) for r in self.runs]
+            self.projection = union_projection(projections)
+            union_matcher = ProjectionMatcher(self.projection,
+                                              schema=schema)
+            if union_matcher.prunable and not self.needs_oids:
+                self.projection_matcher = union_matcher
+            for i, (run, proj) in enumerate(zip(self.runs, projections)):
+                matcher = ProjectionMatcher(proj, schema=schema)
+                if not matcher.prunable:
+                    continue
+                mask = ProjectionMask(matcher, self.source_id)
+                self._masks[i] = mask
+                if run.recorder is not None:
+                    run.recorder.projection = mask.counters
+            if self._masks:
+                self.mux.set_masks(self._masks)
         self.fault_plan = fault_plan
         if fault_plan:
             from ..fault import arm_stage_fault
@@ -283,7 +332,19 @@ class MultiQueryRun:
         return self.finish()
 
     def run_xml(self, text: str) -> "MultiQueryRun":
-        """Evaluate all queries over an XML document — tokenized once."""
+        """Evaluate all queries over an XML document — tokenized once.
+
+        With projection enabled the shared tokenizer prunes subtrees no
+        query's path set can reach (the union projection); per-query
+        masks narrow the fan-out further.
+        """
+        if self.projection_matcher is not None:
+            from ..xmlio.tokenizer import XMLTokenizer
+            tok = XMLTokenizer(stream_id=self.source_id,
+                               projection=self.projection_matcher)
+            events = list(tok.tokenize(text))
+            self.projection_stats = tok.projection_stats
+            return self.run(events)
         events = tokenize(text, stream_id=self.source_id,
                           emit_oids=self.needs_oids)
         return self.run(events)
@@ -374,16 +435,47 @@ class MultiQueryRun:
         stats["quarantined"] = len(quarantined)
         stats["per_query"] = [stats["per_pipeline"][s]
                               for s in self._slots]
+        if self.projection is not None:
+            stats["projection"] = self.projection_summary()
         if any(r.recorder is not None for r in self.runs):
             stats["metrics"] = self.metrics()
         return stats
 
+    def projection_summary(self) -> Optional[dict]:
+        """Union projection, tokenizer counters, per-mask drop counts."""
+        if self.projection is None:
+            return None
+        out = {
+            "union": self.projection.to_dict(),
+            "tokenizer_pruning": self.projection_matcher is not None,
+            "masked_pipelines": len(self._masks),
+            "mask_events_dropped": sum(
+                m.counters["mask_events_dropped"]
+                for m in self._masks.values()),
+        }
+        if self.projection_stats is not None:
+            out["tokenizer"] = self.projection_stats.to_dict()
+        return out
+
     def metrics(self) -> Optional[dict]:
-        """Merged telemetry across unique pipelines (None when off)."""
+        """Merged telemetry across unique pipelines (None when off).
+
+        Tokenizer-level pruning counters are added exactly once (they
+        are executor state, not pipeline state), so a sharded run —
+        whose parent prunes with the same union matcher — merges to the
+        same totals.
+        """
         from ..obs import merge_metrics
         dicts = [r.recorder.to_dict() for r in self.runs
                  if r.recorder is not None]
-        return merge_metrics(dicts) if dicts else None
+        if not dicts:
+            return None
+        merged = merge_metrics(dicts)
+        if self.projection_stats is not None:
+            proj = merged.setdefault("projection", {})
+            for key, value in self.projection_stats.counter_dict().items():
+                proj[key] = proj.get(key, 0) + value
+        return merged
 
     def __repr__(self) -> str:
         return "MultiQueryRun({} queries, {} pipelines)".format(
@@ -443,12 +535,39 @@ class XFlux:
         run.feed_all(events)
         return run.finish()
 
-    def run_xml(self, text: str, **kwargs) -> QueryRun:
-        """Evaluate over an XML document string (tokenized on the fly)."""
+    def run_xml(self, text: str, projection: bool = False,
+                schema=None, **kwargs) -> QueryRun:
+        """Evaluate over an XML document string (tokenized on the fly).
+
+        With ``projection=True`` the compiled plan's path projection is
+        derived (:mod:`repro.analysis.projection`) and, when it proves
+        prunable, pushed into the tokenizer as a subtree-skip mode; the
+        result is byte-identical by construction and ``schema`` (an
+        :class:`~repro.analysis.projection.ElementSchema` or the name
+        ``"xmark"``/``"dblp"``) sharpens what counts as prunable.
+        """
         plan_probe = self.compile()
         run = QueryRun(plan_probe, **kwargs)
-        events = tokenize(text, stream_id=plan_probe.source_id,
-                          emit_oids=plan_probe.needs_oids)
+        matcher = None
+        if projection:
+            from ..analysis.projection import (ProjectionMatcher,
+                                               derive_projection)
+            run.projection = derive_projection(plan_probe)
+            candidate = ProjectionMatcher(run.projection, schema=schema)
+            if candidate.prunable:
+                matcher = candidate
+        if matcher is None:
+            events = tokenize(text, stream_id=plan_probe.source_id,
+                              emit_oids=plan_probe.needs_oids)
+        else:
+            from ..xmlio.tokenizer import XMLTokenizer
+            tok = XMLTokenizer(stream_id=plan_probe.source_id,
+                               projection=matcher)
+            events = list(tok.tokenize(text))
+            run.projection_stats = tok.projection_stats
+            if run.recorder is not None:
+                run.recorder.projection = \
+                    tok.projection_stats.counter_dict()
         run.feed_all(events)
         return run.finish()
 

@@ -11,7 +11,11 @@ executable specification.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.analysis.projection import (CHILD, ProjectionMatcher,
+                                       QueryProjection)
 from repro.xmlio import XMLSyntaxError, XMLTokenizer, iter_tokenize, \
     tokenize
 from repro.xmlio.reference_tokenizer import (ReferenceTokenizer,
@@ -123,3 +127,148 @@ class TestConstructsSplitMidway:
         j = doc.index("]]>") + 1
         evs = list(iter_tokenize([doc[:i], doc[i:j], doc[j:]]))
         assert [e.text for e in evs if e.text is not None] == ["one & two"]
+
+
+# Document whose *skipped* subtrees contain every construct the raw skip
+# scanner must cross without materializing events: comments with embedded
+# markup and dashes, a PI with angle brackets, CDATA with a fake ``]]``,
+# entities, attributes in both quote styles, self-closing tags, and deep
+# nesting.  The projection keeps only the ``keep`` children of the
+# root (path ``/keep`` — the root element itself consumes no step).
+SKIP_DOC = ('<?xml version="1.0"?>'
+            '<root>'
+            '<keep>hello <b>bold</b> &amp; more</keep>'
+            '<skip a="1" b=\'&lt;x&gt;\'>'
+            'text <!-- <not><a>tag</a> -- > dashes --> more'
+            '<?pi data with <brackets> and ]]> bytes?>'
+            '<![CDATA[raw <&> ]] ]>stuff]]>'
+            '<inner f="2">&#65;&#x42; <leaf/> tail</inner>'
+            '</skip>'
+            '<keep>two &quot;q&apos;</keep>'
+            '<skip><deep><deeper>x</deeper></deep><solo/></skip>'
+            '</root>')
+
+SKIP_SPLITS = list(range(len(SKIP_DOC) + 1))
+
+KEEP_PROJECTION = QueryProjection(paths=frozenset({
+    ((CHILD, "keep"),),
+}))
+
+
+def _matcher():
+    return ProjectionMatcher(KEEP_PROJECTION)
+
+
+def _pruned_tokenize(chunks):
+    tok = XMLTokenizer(projection=_matcher())
+    out = []
+    for chunk in chunks:
+        out.extend(tok.feed(chunk))
+    out.extend(tok.close())
+    return out, tok.projection_stats
+
+
+class TestSkipModeSplitPoints:
+    """Chunk boundaries landing *inside* skipped subtrees."""
+
+    @pytest.fixture(scope="class")
+    def pruned_oneshot(self):
+        return _pruned_tokenize([SKIP_DOC])
+
+    @pytest.fixture(scope="class")
+    def full(self):
+        return tokenize(SKIP_DOC)
+
+    def test_projection_rejects_oids(self):
+        with pytest.raises(ValueError):
+            XMLTokenizer(projection=_matcher(), emit_oids=True)
+
+    def test_pruned_plus_emitted_accounts_for_every_event(
+            self, pruned_oneshot, full):
+        events, stats = pruned_oneshot
+        assert stats.events_emitted == len(events)
+        assert stats.events_pruned > 0
+        assert stats.bytes_skipped > 0
+        assert stats.subtrees_skipped == 2
+        assert stats.events_emitted + stats.events_pruned == len(full)
+
+    def test_pruned_events_are_a_subsequence(self, pruned_oneshot, full):
+        events, _ = pruned_oneshot
+        it = iter(full)
+        assert all(any(e == f for f in it) for e in events)
+
+    @pytest.mark.parametrize("i", SKIP_SPLITS)
+    def test_two_chunks_equal_oneshot(self, i, pruned_oneshot):
+        events, stats = _pruned_tokenize([SKIP_DOC[:i], SKIP_DOC[i:]])
+        assert events == pruned_oneshot[0]
+        assert stats.counter_dict() == pruned_oneshot[1].counter_dict()
+
+    def test_byte_at_a_time(self, pruned_oneshot):
+        events, stats = _pruned_tokenize(list(SKIP_DOC))
+        assert events == pruned_oneshot[0]
+        assert stats.counter_dict() == pruned_oneshot[1].counter_dict()
+
+    @pytest.mark.parametrize("needle", [
+        "<!-- <not>", "-- > dashes", "-->", "<?pi", "]]> bytes?>",
+        "<![CDATA[", "]] ]>stuff", "stuff]]>", "&#65;", "<leaf/>",
+        "<inner f=", "b=\'&lt;", "</skip>", "<deeper>", "<solo/>",
+    ])
+    def test_split_inside_skipped_construct(self, needle,
+                                            pruned_oneshot):
+        start = SKIP_DOC.index(needle)
+        for i in (start, start + len(needle) // 2,
+                  start + len(needle)):
+            events, stats = _pruned_tokenize(
+                [SKIP_DOC[:i], SKIP_DOC[i:]])
+            assert events == pruned_oneshot[0]
+            assert stats.counter_dict() == \
+                pruned_oneshot[1].counter_dict()
+
+    @given(cuts=st.lists(st.integers(0, len(SKIP_DOC)), max_size=8))
+    @settings(max_examples=120, deadline=None)
+    def test_any_chunking_equals_oneshot(self, cuts):
+        bounds = sorted({0, len(SKIP_DOC), *cuts})
+        chunks = [SKIP_DOC[a:b] for a, b in zip(bounds, bounds[1:])]
+        expected, exp_stats = _pruned_tokenize([SKIP_DOC])
+        events, stats = _pruned_tokenize(chunks)
+        assert events == expected
+        assert stats.counter_dict() == exp_stats.counter_dict()
+
+    @pytest.mark.parametrize("bad", [
+        # Well-formedness violations *inside* skipped subtrees must
+        # still raise: skip mode verifies structure, it only elides
+        # event materialization.
+        '<root><keep/><skip><a></b></skip></root>',
+        '<root><keep/><skip><a>unclosed</skip></root>',
+        '<root><keep/><skip><></skip></root>',
+    ])
+    def test_skipped_subtrees_still_wellformed_checked(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            _pruned_tokenize([bad])
+
+    def test_matches_unprojected_filter(self, pruned_oneshot, full):
+        # The kept events must be exactly the full stream minus the
+        # skipped subtrees — reconstruct that set by depth tracking.
+        from repro.events.model import EE, SE
+        kept = []
+        depth = 0        # element depth in the full stream
+        skip_until = None  # depth at which the current skip started
+        for e in full:
+            kind = int(e.kind)
+            if kind == int(SE):
+                depth += 1
+                if skip_until is None and depth == 2 \
+                        and e.tag != "keep":
+                    skip_until = depth
+                if skip_until is None:
+                    kept.append(e)
+            elif kind == int(EE):
+                if skip_until is None:
+                    kept.append(e)
+                elif depth == skip_until:
+                    skip_until = None
+                depth -= 1
+            else:            # CD
+                if skip_until is None:
+                    kept.append(e)
+        assert kept == pruned_oneshot[0]
