@@ -1,0 +1,183 @@
+"""Compile-layer benchmark (``BENCH_fusion.json``).
+
+Measures the two flag-gated compile layers with every answer verified
+byte-identical to the interpreted reference before anything is
+written:
+
+* **single-query stage fusion** — Q1–Q8 through the interpreted
+  pipeline versus the fused drivers, with the geometric-mean speedup
+  (the per-stage dispatch tax is what fusion removes, so the win is
+  roughly uniform across queries);
+* **multi-query compile stack** — the paper's standing-query workload
+  per dataset under ``baseline`` (the plain multiplexer), ``fuse``,
+  ``share`` (prefix-sharing only), ``both``, and ``both`` stacked with
+  projection masks, with per-mode transformer-call counts and the
+  shared-group breakdown.
+
+Methodology: events are tokenized once per workload outside the timed
+region (every mode consumes the identical list, so tokenizer cost
+cannot dilute the engine-level ratios); construction/compilation is
+outside the timed region; modes are *interleaved* within each
+repetition so thermal drift hits all of them equally; the best of
+``repeats`` is kept; the collector is quiesced and disabled around
+each timed run.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..xmlio.tokenizer import tokenize
+from ..xquery.engine import MultiQueryRun, QueryRun, XFlux
+from .harness import (PAPER_QUERIES, QUERY_DATASET, Workloads,
+                      dataset_groups)
+
+#: Multi-query executor modes: label -> MultiQueryRun switches.  The
+#: flags are always explicit so ambient REPRO_FUSE / REPRO_SHARE
+#: settings cannot contaminate a mode's meaning.
+_MODES: List[tuple] = [
+    ("baseline", dict(fuse=False, share_prefixes=False)),
+    ("fuse", dict(fuse=True, share_prefixes=False)),
+    ("share", dict(fuse=False, share_prefixes=True)),
+    ("both", dict(fuse=True, share_prefixes=True)),
+    ("both_projection", dict(fuse=True, share_prefixes=True,
+                             projection=True)),
+]
+
+
+def _timed(fn) -> float:
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def _geomean(values: Sequence[float]) -> Optional[float]:
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def bench_fusion(workloads: Workloads, repeats: int = 7,
+                 queries: Optional[Sequence[str]] = None) -> Dict:
+    """Run both parts; raises if any mode changes any answer."""
+    names = list(queries) if queries is not None else list(PAPER_QUERIES)
+    reference = {
+        name: XFlux(PAPER_QUERIES[name]).run_xml(
+            workloads.text(QUERY_DATASET[name])).text()
+        for name in names}
+
+    # -- part 1: single-query fusion on/off ------------------------------
+    single_names = [n for n in names if n != "Q9"]
+    single_rows: List[Dict] = []
+    speedups: List[float] = []
+    for name in single_names:
+        query = PAPER_QUERIES[name]
+        plan_probe = XFlux(query).compile()
+        events = workloads.events(QUERY_DATASET[name],
+                                  oids=plan_probe.needs_oids)
+        best = {"off": float("inf"), "on": float("inf")}
+        calls = {}
+        for rep in range(repeats):
+            for mode, fuse in (("off", False), ("on", True)):
+                run = QueryRun(XFlux(query).compile(), fuse=fuse)
+                secs = _timed(lambda r=run: (r.feed_all(events),
+                                             r.finish()))
+                best[mode] = min(best[mode], secs)
+                if rep == 0:
+                    if run.text() != reference[name]:
+                        raise AssertionError(
+                            "fusion={} changed {}'s answer".format(
+                                fuse, name))
+                    calls[mode] = run.stats()["transformer_calls"]
+        # Fusion removes dispatch, never work — pin that here too.
+        if calls["on"] != calls["off"]:
+            raise AssertionError(
+                "fusion changed {}'s transformer accounting".format(name))
+        speedup = best["off"] / best["on"] if best["on"] else None
+        if speedup:
+            speedups.append(speedup)
+        single_rows.append({
+            "query": name,
+            "dataset": QUERY_DATASET[name],
+            "input_events": len(events),
+            "interpreted_secs": round(best["off"], 6),
+            "fused_secs": round(best["on"], 6),
+            "speedup": round(speedup, 3) if speedup else None,
+            "transformer_calls": calls["off"],
+        })
+    geomean = _geomean(speedups)
+
+    # -- part 2: the multi-query compile stack ---------------------------
+    groups = dataset_groups(names)
+    mode_names = [m for m, _ in _MODES]
+    per_dataset: List[Dict] = []
+    totals = {m: 0.0 for m in mode_names}
+    for dataset, group in groups:
+        qtexts = [PAPER_QUERIES[n] for n in group]
+        probe = MultiQueryRun(qtexts, fuse=False, share_prefixes=False)
+        events = list(tokenize(workloads.text(dataset),
+                               stream_id=probe.source_id,
+                               emit_oids=probe.needs_oids))
+        schema = "dblp" if dataset == "D" else "xmark"
+        best = {m: float("inf") for m in mode_names}
+        stats0: Dict[str, Dict] = {}
+        for rep in range(repeats):
+            for mode, kwargs in _MODES:
+                if "projection" in kwargs:
+                    kwargs = dict(kwargs, schema=schema)
+                mq = MultiQueryRun(qtexts, **kwargs)
+                secs = _timed(lambda m=mq: (m.feed_all(events),
+                                            m.finish()))
+                best[mode] = min(best[mode], secs)
+                if rep == 0:
+                    for n, text in zip(group, mq.texts()):
+                        if text != reference[n]:
+                            raise AssertionError(
+                                "mode {} changed {}'s answer".format(
+                                    mode, n))
+                    stats0[mode] = mq.stats()
+        row = {
+            "dataset": dataset,
+            "queries": group,
+            "input_events": len(events),
+            "modes": {
+                mode: {
+                    "secs": round(best[mode], 6),
+                    "speedup_vs_baseline": round(
+                        best["baseline"] / best[mode], 3)
+                    if best[mode] else None,
+                    "transformer_calls":
+                        stats0[mode]["transformer_calls"],
+                } for mode in mode_names},
+        }
+        sharing = stats0["both"].get("sharing")
+        if sharing is not None:
+            row["sharing"] = sharing
+        per_dataset.append(row)
+        for mode in mode_names:
+            totals[mode] += best[mode]
+
+    return {
+        "single_query": {
+            "queries": single_names,
+            "rows": single_rows,
+            "geomean_speedup": round(geomean, 3) if geomean else None,
+        },
+        "multi_query": {
+            "modes": mode_names,
+            "per_dataset": per_dataset,
+            "total_secs": {m: round(totals[m], 6) for m in mode_names},
+            "speedup_vs_baseline": {
+                m: round(totals["baseline"] / totals[m], 3)
+                for m in mode_names if totals[m]},
+        },
+        "identical_outputs": True,
+    }

@@ -38,15 +38,29 @@ MULTIQUERY_JSON = "BENCH_multiquery.json"
 MEMORY_JSON = "BENCH_memory.json"
 FAULT_JSON = "BENCH_fault.json"
 PROJECTION_JSON = "BENCH_projection.json"
+FUSION_JSON = "BENCH_fusion.json"
 
 
 def _meta(workloads: Workloads, repeats: int) -> Dict:
+    # Host facts ride in every record: numbers are not comparable
+    # across machines, and the compile-layer env switches silently
+    # change what "default flags" means for a run.
+    from ..parallel import available_workers
+    from ..xquery.engine import (_fuse_default, _metrics_default,
+                                 _sanitize_default, _share_default)
     return {
         "xmark_scale": workloads.xmark_scale,
         "dblp_scale": workloads.dblp_scale,
         "repeats": repeats,
         "timing": "best-of-repeats wall clock",
         "python": platform.python_version(),
+        "cpus": available_workers(),
+        "flags": {
+            "fuse": _fuse_default(),
+            "share_prefixes": _share_default(),
+            "sanitize": _sanitize_default(),
+            "metrics": _metrics_default(),
+        },
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
@@ -136,15 +150,12 @@ def write_multiquery_file(out_dir: str = ".", scale: float = 0.1,
     meaningless without it (on one core the process pool can only add
     overhead; see EXPERIMENTS.md).
     """
-    from ..parallel import available_workers
     from .multiquery import bench_multiquery
     os.makedirs(out_dir or ".", exist_ok=True)
     workloads = Workloads(xmark_scale=scale, dblp_scale=scale)
     payload = bench_multiquery(workloads, repeats=repeats,
                                workers=workers, queries=queries)
-    payload = dict(
-        meta=dict(_meta(workloads, repeats), cpus=available_workers()),
-        **payload)
+    payload = dict(meta=_meta(workloads, repeats), **payload)
     path = "{}/{}".format(out_dir.rstrip("/"), MULTIQUERY_JSON)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
@@ -166,15 +177,12 @@ def write_fault_file(out_dir: str = ".", scale: float = 0.1,
     overhead.  The faulted run's surviving outputs are verified
     byte-identical to the clean run before anything is written.
     """
-    from ..parallel import available_workers
     from .fault import bench_fault
     os.makedirs(out_dir or ".", exist_ok=True)
     workloads = Workloads(xmark_scale=scale, dblp_scale=scale)
     payload = bench_fault(workloads, repeats=repeats, workers=workers,
                           queries=queries, fault_plan=fault_plan)
-    payload = dict(
-        meta=dict(_meta(workloads, repeats), cpus=available_workers()),
-        **payload)
+    payload = dict(meta=_meta(workloads, repeats), **payload)
     path = "{}/{}".format(out_dir.rstrip("/"), FAULT_JSON)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
@@ -208,6 +216,32 @@ def write_projection_file(out_dir: str = ".", scale: float = 0.1,
     if err is not None:
         print("wrote {}".format(path), file=err)
     return {PROJECTION_JSON: path}
+
+
+def write_fusion_file(out_dir: str = ".", scale: float = 0.15,
+                      repeats: int = 7,
+                      queries: Optional[Sequence[str]] = None,
+                      err=None) -> Dict[str, str]:
+    """Run the compile-layer benchmark; returns the file path.
+
+    Single-query fusion on/off (geomean over Q1–Q8) plus the
+    multi-query stack — baseline / fuse / share / both / both with
+    projection masks — interleaved per repetition.  Every row is
+    verified byte-identical to the interpreted reference before
+    anything is written.
+    """
+    from .fusion import bench_fusion
+    os.makedirs(out_dir or ".", exist_ok=True)
+    workloads = Workloads(xmark_scale=scale, dblp_scale=scale)
+    payload = bench_fusion(workloads, repeats=repeats, queries=queries)
+    payload = dict(meta=_meta(workloads, repeats), **payload)
+    path = "{}/{}".format(out_dir.rstrip("/"), FUSION_JSON)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    if err is not None:
+        print("wrote {}".format(path), file=err)
+    return {FUSION_JSON: path}
 
 
 def write_memory_file(out_dir: str = ".", scale: float = 0.1,

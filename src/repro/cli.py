@@ -22,6 +22,8 @@ Options:
     --projection       derive the plan's path projection and skip
                        irrelevant subtrees in the tokenizer (add
                        --schema xmark|dblp to sharpen //-led paths)
+    --fuse             compile the pipeline into fused stage segments
+                       (also: REPRO_FUSE=1)
     --query-file FILE  read the query text from a file instead of argv
 
 There is also a benchmark subcommand that records the paper's evaluation
@@ -30,6 +32,7 @@ quantities as machine-readable JSON (see repro.bench.record):
     python -m repro bench --scale 0.1 --repeats 3 --out-dir .
     python -m repro bench --memory --out-dir .
     python -m repro bench --projection --out-dir .
+    python -m repro bench --fusion --scale 0.15 --repeats 7 --out-dir .
 
 a static plan analyzer that lints a compiled pipeline without
 running it — per-stage memory classes, the precomputed fix map, update
@@ -38,6 +41,8 @@ reachability (paper query names Q1..Q9 are accepted as shorthand):
     python -m repro analyze 'X//europe//item/quantity'
     python -m repro analyze Q7 --input auction.xml
     python -m repro analyze Q3 --json
+    python -m repro analyze Q2 --fusion      # compile-layer partition
+    python -m repro analyze --fusion         # joint Q1..Q9 prefix trie
 
 two telemetry subcommands that run a query with the observability
 layer attached (paper query names synthesize their dataset when no
@@ -100,6 +105,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--schema",
                     help="schema refinement for --projection: 'xmark' "
                          "or 'dblp'")
+    ap.add_argument("--fuse", action="store_true",
+                    help="compile the pipeline into fused stage "
+                         "segments (byte-identical by construction; "
+                         "also: REPRO_FUSE=1)")
     return ap
 
 
@@ -129,9 +138,64 @@ def build_analyze_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--schema",
                     help="schema refinement for the projection: "
                          "'xmark' or 'dblp'")
+    ap.add_argument("--fusion", action="store_true",
+                    help="also report the compile layers: the plan's "
+                         "stage-fusion partition plus the joint Q1..Q9 "
+                         "shared-prefix trie (with no query at all, "
+                         "just the trie)")
     ap.add_argument("--json", action="store_true",
                     help="emit the report as JSON instead of text")
     return ap
+
+
+def _fusion_report(plan=None) -> dict:
+    """Compile-layer analysis: fusion partition + joint sharing trie."""
+    from .bench.harness import PAPER_QUERIES
+    from .compile import describe_sharing, fusion_partition
+    payload = {"shared_prefix_trie":
+               describe_sharing(list(PAPER_QUERIES.items()))}
+    if plan is not None:
+        fplan = fusion_partition(plan)
+        stage_names = [type(s).__name__ for s in plan.stages]
+        payload["partition"] = {
+            "stages": fplan.n_stages,
+            "units": len(fplan.segments),
+            "fused": fplan.fused,
+            "segments": [
+                {"start": spec.start, "end": spec.end,
+                 "fused": spec.fused,
+                 "stages": stage_names[spec.start:spec.end],
+                 "dormant_levels": list(spec.dormant)}
+                for spec in fplan.segments],
+        }
+    return payload
+
+
+def _render_fusion(payload: dict, out) -> None:
+    part = payload.get("partition")
+    if part is not None:
+        print("fusion partition: {} stages -> {} units{}".format(
+            part["stages"], part["units"],
+            "" if part["fused"] else " (nothing fusible)"), file=out)
+        for spec in part["segments"]:
+            label = "fused" if spec["fused"] else "interpreted"
+            dormant = sum(1 for d in spec["dormant_levels"] if d)
+            print("  stages {}..{} {} [{}]{}".format(
+                spec["start"], spec["end"], label,
+                ", ".join(spec["stages"]),
+                " ({} dormant-capable)".format(dormant) if dormant
+                else ""), file=out)
+    trie = payload["shared_prefix_trie"]
+    print("joint shared-prefix trie over the paper queries "
+          "({} queries, {} eligible, {} shared):".format(
+              trie["queries"], trie["eligible"], trie["shared"]),
+          file=out)
+    for node in trie["prefixes"]:
+        print("  {:<45} x{} {} {}".format(
+            node["prefix"], node["count"], " ".join(node["queries"]),
+            "(evaluated once)" if node["shared"] else ""), file=out)
+    for name, why in sorted(trie["excluded"].items()):
+        print("  excluded {}: {}".format(name, why), file=out)
 
 
 def analyze_main(argv, out, err) -> int:
@@ -144,6 +208,14 @@ def analyze_main(argv, out, err) -> int:
     if args.query_file:
         query_text = _read_text(args.query_file)
     elif args.query is None:
+        if args.fusion:
+            # Standalone compile-layer overview: just the joint trie.
+            payload = _fusion_report()
+            if args.json:
+                print(json.dumps(payload, indent=2), file=out)
+            else:
+                _render_fusion(payload, out)
+            return 0
         print("error: no query given (positional or --query-file)",
               file=err)
         return 2
@@ -161,12 +233,17 @@ def analyze_main(argv, out, err) -> int:
     except Exception as exc:  # parse/compile diagnostics for the user
         print("error: {}".format(exc), file=err)
         return 2
+    fusion_payload = _fusion_report(plan) if args.fusion else None
     payload = report_to_dict(report) if args.json else None
     if payload is not None:
         payload["projection"] = dict(proj.to_dict(), prunable=prunable,
                                      schema=args.schema)
+        if fusion_payload is not None:
+            payload["fusion"] = fusion_payload
     if not args.json:
         print(render_report(report), file=out)
+        if fusion_payload is not None:
+            _render_fusion(fusion_payload, out)
         if args.projection:
             if proj.universal:
                 print("projection: universal ({})".format(
@@ -496,17 +573,28 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
                     help="benchmark stream projection instead: "
                          "off vs on per query, byte-identity verified; "
                          "writes BENCH_projection.json")
+    ap.add_argument("--fusion", action="store_true",
+                    help="benchmark the compile layers instead: "
+                         "single-query fusion on/off plus the "
+                         "multi-query baseline/fuse/share/both stack, "
+                         "byte-identity verified; writes "
+                         "BENCH_fusion.json")
     return ap
 
 
 def bench_main(argv, out, err) -> int:
     from .bench.record import (write_bench_files, write_fault_file,
-                               write_memory_file, write_multiquery_file,
+                               write_fusion_file, write_memory_file,
+                               write_multiquery_file,
                                write_projection_file)
     args = build_bench_arg_parser().parse_args(list(argv))
     queries = args.queries.split(",") if args.queries else None
     try:
-        if args.projection:
+        if args.fusion:
+            paths = write_fusion_file(
+                out_dir=args.out_dir, scale=args.scale,
+                repeats=args.repeats, queries=queries, err=err)
+        elif args.projection:
             paths = write_projection_file(
                 out_dir=args.out_dir, scale=args.scale,
                 repeats=args.repeats, queries=queries, err=err)
@@ -616,7 +704,8 @@ def main(argv: Optional[Iterable[str]] = None,
 
     text = _read_text(input_path)
     run = engine.start(sanitize=True if args.sanitize else None,
-                       metrics=True if args.metrics else None)
+                       metrics=True if args.metrics else None,
+                       fuse=True if args.fuse else None)
     shown: Optional[str] = None
     source = (proj_tok.tokenize(text) if proj_tok is not None
               else _event_source(text, args.events, plan.needs_oids))

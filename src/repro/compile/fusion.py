@@ -1,0 +1,561 @@
+"""Stage fusion: compile runs of pipeline stages into one closure.
+
+The interpreted driver (:meth:`repro.core.pipeline.Pipeline._drain`)
+pays a fixed per-event tax at every stage boundary: a work-list
+iteration, a routing-key classification, a handler-table double
+subscript, and stack traffic for multi-output stages.  Profiling the
+paper queries puts that dispatch layer at roughly 40% of wall time —
+none of it does query work.
+
+This module removes the tax without touching operator semantics.  Using
+the static analyzer's facts (:func:`repro.analysis.static_plan.
+analyze_plan`), each compiled plan is partitioned into maximal runs of
+streaming stages; each run of two or more becomes a
+:class:`FusedSegment` whose driver is *generated source code*: one
+``def`` with a nested ``for`` loop per stage, the per-stage dispatch
+inlined.  The generated body replicates the routed interpreter exactly:
+
+* an **active-flavor** level performs the same ``id in tracked`` probe
+  and ``handlers[kind]`` dispatch the interpreter performs — against the
+  *live* wrapper tables, whose identities never change (the dormant ->
+  active transition mutates them in place) — so it is valid in every
+  wrapper state;
+* a **dormant-flavor** level (only where the analyzer guarantees no
+  update event can ever arrive, and only while the wrapper really is
+  dormant) skips the wrapper shim entirely and calls the transformer's
+  ``process`` directly, preserving the ``calls`` accounting;
+* any update-kind event entering a level is handed to an interpreted
+  tail drive (:meth:`FusedSegment._tail`) that mirrors ``_drain`` over
+  the remaining levels; if that event activated a wrapper a
+  dormant-flavor level was generated for, the segment regenerates
+  itself with the activated stage demoted to active flavor (a *deopt*),
+  so the fast path is never consulted in a stale state.
+
+Exit events leave through the caller-supplied ``emit`` continuation
+*as they are produced*, never batched: stages allocate fresh stream
+ids on the data path (e.g. a predicate opening an item region), so an
+exit must traverse the whole rest of the chain before the segment
+computes its next exit or the global id-allocation order — and with it
+the raw event stream — would diverge from the interpreter.
+
+Fusion changes neither the event stream nor the per-stage call counts:
+the differential suite (``tests/test_fusion.py``) holds fused runs
+byte- and call-identical to interpreted runs.  Generated closures are
+rebuilt — never pickled — across checkpoint/restore
+(:meth:`FusedSegment.__setstate__`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.wrapper import _FIRST_UPDATE, LIVE, UpdateWrapper
+from ..events.model import FREEZE
+
+_FREEZE = int(FREEZE)
+
+#: Longest run compiled into one closure.  One ``for`` block per stage
+#: plus the batch variant's source-event loop must fit CPython's
+#: 20-block static nesting limit, so the cap is 19 — crossing a chunk
+#: boundary costs a closure frame per *exit* event (far rarer than
+#: source events once the leading steps have filtered), while losing
+#: the in-frame source loop would cost a frame per source event.
+MAX_SEGMENT = 19
+
+
+class SegmentSpec:
+    """One planned segment: a half-open stage range plus dormancy facts."""
+
+    def __init__(self, start: int, end: int,
+                 dormant: Sequence[bool]) -> None:
+        self.start = start
+        self.end = end
+        self.dormant = tuple(dormant)
+
+    @property
+    def fused(self) -> bool:
+        return self.end - self.start >= 2
+
+    def __repr__(self) -> str:
+        return "SegmentSpec({}..{}, dormant={})".format(
+            self.start, self.end, list(self.dormant))
+
+
+class FusionPlan:
+    """The fusion partition of one compiled plan."""
+
+    def __init__(self, segments: List[SegmentSpec], n_stages: int) -> None:
+        self.segments = segments
+        self.n_stages = n_stages
+
+    @property
+    def fused(self) -> bool:
+        """Does at least one segment span two or more stages?"""
+        return any(s.fused for s in self.segments)
+
+    def __repr__(self) -> str:
+        return "FusionPlan({} stages -> {} units)".format(
+            self.n_stages, len(self.segments))
+
+
+def fusion_partition(plan, report=None, max_segment: int = MAX_SEGMENT,
+                     assume_updates: bool = False) -> FusionPlan:
+    """Partition ``plan`` into maximal fusible runs.
+
+    A stage joins a run when it streams (``paper_blocking`` stages — the
+    ones a conventional evaluator buffers on — stay interpreted as
+    single-stage units, where the wrapper's full bracket bookkeeping is
+    the dominant cost anyway) and passes foreign events through (the
+    routing contract fusion inlines).  ``assume_updates=True`` demotes
+    every dormant guarantee to active flavor — used for suffix plans in
+    shared-prefix groups, whose *input* already carries brackets the
+    per-plan analyzer cannot see.
+    """
+    from ..analysis.static_plan import analyze_plan
+    if report is None:
+        report = analyze_plan(plan)
+    n = len(plan.stages)
+    fusible = []
+    dormant = []
+    for sr in report.stages:
+        t = sr.transformer
+        fusible.append(bool(t.passes_foreign)
+                       and not sr.facts.get("paper_blocking"))
+        dormant.append(sr.dormant and not assume_updates)
+    segments: List[SegmentSpec] = []
+    i = 0
+    while i < n:
+        if not fusible[i]:
+            segments.append(SegmentSpec(i, i + 1, (False,)))
+            i += 1
+            continue
+        j = i
+        while j < n and fusible[j] and j - i < max_segment:
+            j += 1
+        segments.append(SegmentSpec(i, j, dormant[i:j]))
+        i = j
+    return FusionPlan(segments, n)
+
+
+def _generate_source(wrappers: Sequence[UpdateWrapper],
+                     flavors: Sequence[str],
+                     batch: bool = False) -> str:
+    """Emit the fused driver's source for one segment.
+
+    One nested loop level per stage; ``emit`` receives the exit events
+    one at a time, in exactly the depth-first order the interpreter's
+    LIFO work list would let them cross this boundary.
+
+    Active levels inline the interpreter's complete routing block for
+    *every* event kind — key classification, the freeze fix-map write,
+    the tracked-probe, the handler-table dispatch — so update traffic
+    (predicate item brackets, freezes, hides) stays on the generated
+    path; ``_tail`` is reached only through dormant levels, where an
+    update's arrival falsifies the dormancy assumption and forces a
+    deopt.  For data events the tracked-probe returns the facet, and
+    all three facet bodies of ``UpdateWrapper._active_data`` — live
+    input (0), region with its own state copy (2), raw/shared region
+    content (1) — are transcribed inline, eliminating the wrapper shim
+    call for the entire data stream: the probe's facet feeds the state
+    swap, region configuration, and relabel logic directly.  The
+    handler table remains the dispatch for every update kind (where it
+    also performs the dormant wrapper's activation).  The exit level
+    applies the sink-position freeze fix, making the segment safe to
+    aim straight at the sink.
+    """
+    n = len(wrappers)
+    head = ("def _fused_batch(events, emit," if batch
+            else "def _fused(e0, emit,")
+    extra = ""
+    if batch and "dormant" in flavors:
+        extra = " SEG=SEG, G=G, _res=_res,"
+    lines = [head + " _tail=_tail, fixf=fixf, LIVE=LIVE," + extra]
+    binds = []
+    for k, (w, flavor) in enumerate(zip(wrappers, flavors)):
+        if flavor == "dormant":
+            binds.append("w{0}=w{0}, t{0}=t{0}, p{0}=p{0}, I{0}=I{0}"
+                         .format(k))
+        else:
+            binds.append(
+                "H{0}=H{0}, R{0}=R{0}, w{0}=w{0}, t{0}=t{0}, p{0}=p{0}, "
+                "E{0}=E{0}, RC{0}=RC{0}, RT{0}=RT{0}, RI{0}=RI{0}, "
+                "IN{0}=IN{0}, g{0}=g{0}, ss{0}=ss{0}, rc{0}=rc{0}, "
+                "rl{0}=rl{0}, L{0}=L{0}".format(k))
+    lines.append("           " + ",\n           ".join(binds) + "):")
+    indent = "    "
+    # The batch variant hoists the per-event driver call into the
+    # generated function itself.  A dormant level's tail divert can
+    # deopt mid-batch (regenerating the segment's closures), which
+    # would leave this running frame on stale code — so wherever a
+    # divert exists the frame compares the segment's build generation
+    # after the diverting event completes and, on mismatch, hands the
+    # *rest of the iterator* to the per-event resume path.  That is
+    # exactly the granularity the per-event driver has: a deopt takes
+    # effect at the next source event, never mid-event.
+    base = 1
+    dormant_tail = any(f == "dormant" for f in flavors[1:])
+    if batch:
+        lines.append(indent + "events = iter(events)")
+        lines.append(indent + "for e0 in events:")
+        base = 2
+
+    def put(depth: int, text: str) -> None:
+        lines.append(indent * (depth + base) + text)
+
+    for k, (w, flavor) in enumerate(zip(wrappers, flavors)):
+        put(k, "k{0} = e{0}.kind".format(k))
+        if flavor == "dormant":
+            put(k, "if k{0} >= {1}:".format(k, _FIRST_UPDATE))
+            put(k + 1, "_tail({0}, e{0}, emit)".format(k))
+            if batch and k == 0:
+                # The divert may have deopted this very frame; the rest
+                # of the batch must run against the regenerated code.
+                put(k + 1, "if SEG._gen != G:")
+                put(k + 2, "_res(events, emit)")
+                put(k + 2, "return")
+                put(k + 1, "continue")
+            else:
+                put(k + 1, "return" if k == 0 else "continue")
+            ids = sorted(w.input_ids)
+            if len(ids) == 1:
+                put(k, "if e{0}.id == {1}:".format(k, ids[0]))
+                put(k + 1, "w{0}.calls += 1".format(k))
+                put(k + 1, "t{0}.current_input_root = {1}".format(k,
+                                                                  ids[0]))
+                put(k + 1, "r{0} = p{0}(e{0})".format(k))
+            else:
+                put(k, "if e{0}.id in I{0}:".format(k))
+                put(k + 1, "w{0}.calls += 1".format(k))
+                put(k + 1, "t{0}.current_input_root = e{0}.id".format(k))
+                put(k + 1, "r{0} = p{0}(e{0})".format(k))
+            put(k, "else:")
+            put(k + 1, "r{0} = (e{0},)".format(k))
+        else:
+            put(k, "if k{0} < {1}:".format(k, _FIRST_UPDATE))
+            # Data path: one tracked-probe yields the facet (or a skip),
+            # and each facet branch transcribes the corresponding body
+            # of _active_data verbatim — including `calls` accounting
+            # and the lazy state swap.  The facet-0 branch is also the
+            # dormant wrapper's data path: while dormant, `tracked`
+            # still maps exactly the input ids to facet 0, `_loaded`
+            # stays LIVE, and the extra writes are no-ops by the
+            # wrapper's init invariants.
+            put(k + 1, "f{0} = R{0}.get(e{0}.id)".format(k))
+            put(k + 1, "if f{0} is None:".format(k))
+            put(k + 2, "r{0} = (e{0},)".format(k))
+            put(k + 1, "elif f{0} == 0:".format(k))
+            put(k + 2, "w{0}.calls += 1".format(k))
+            # Runtime-dormant short-circuit: an active *flavor* only
+            # means the analyzer could not rule updates out; until one
+            # actually arrives the wrapper is still dormant and this is
+            # exactly `_dormant_data`'s tracked branch (the facet body
+            # below degenerates to it — `_loaded` is LIVE, the region
+            # fields hold their class defaults — so the extra loads and
+            # stores are pure overhead on the no-update fast path).
+            put(k + 2, "if w{0}._dormant:".format(k))
+            put(k + 3, "t{0}.current_input_root = e{0}.id".format(k))
+            put(k + 3, "r{0} = p{0}(e{0})".format(k))
+            put(k + 2, "else:")
+            put(k + 3, "ld{0} = w{0}._loaded".format(k))
+            put(k + 3, "if ld{0} is not LIVE:".format(k))
+            put(k + 4, "rs{0} = w{0}._resident".format(k))
+            put(k + 4, "if rs{0} is None:".format(k))
+            put(k + 5, "rs{0} = g{0}()".format(k))
+            put(k + 4, "E{0}[ld{0}] = rs{0}".format(k))
+            put(k + 4, "s{0} = E{0}[LIVE]".format(k))
+            put(k + 4, "if s{0} is not rs{0}:".format(k))
+            put(k + 5, "ss{0}(s{0})".format(k))
+            put(k + 4, "w{0}._loaded = LIVE".format(k))
+            put(k + 3, "t{0}.region_mutable = False".format(k))
+            put(k + 3, "t{0}.current_input_root = e{0}.id".format(k))
+            put(k + 3, "t{0}.current_region = None".format(k))
+            put(k + 3, "w{0}._resident = None".format(k))
+            put(k + 3, "r{0} = p{0}(e{0})".format(k))
+            put(k + 1, "elif f{0} == 2:".format(k))
+            put(k + 2, "w{0}.calls += 1".format(k))
+            put(k + 2, "ld{0} = w{0}._loaded".format(k))
+            put(k + 2, "if e{0}.id != ld{0}:".format(k))
+            put(k + 3, "rs{0} = w{0}._resident".format(k))
+            put(k + 3, "if rs{0} is None:".format(k))
+            put(k + 4, "rs{0} = g{0}()".format(k))
+            put(k + 3, "E{0}[ld{0}] = rs{0}".format(k))
+            put(k + 3, "s{0} = E{0}[e{0}.id]".format(k))
+            put(k + 3, "if s{0} is not rs{0}:".format(k))
+            put(k + 4, "ss{0}(s{0})".format(k))
+            put(k + 3, "w{0}._loaded = e{0}.id".format(k))
+            put(k + 2, "t{0}.region_mutable = True".format(k))
+            put(k + 2, "cfg{0} = RC{0}.get(e{0}.id)".format(k))
+            put(k + 2, "if cfg{0} is None:".format(k))
+            put(k + 3, "cfg{0} = RC{0}[e{0}.id] = (RT{0}.get(e{0}.id), "
+                       "rc{0}(e{0}.id), RI{0}.get(e{0}.id))".format(k))
+            put(k + 2, "t{0}.current_input_root, "
+                       "t{0}.current_region_chain, info{0} = cfg{0}"
+                .format(k))
+            put(k + 2, "t{0}.current_region = e{0}.id".format(k))
+            put(k + 2, "w{0}._resident = None".format(k))
+            put(k + 2, "o{0} = p{0}(e{0})".format(k))
+            put(k + 2, "if not o{0} or t{0}.suppress_region_output:"
+                .format(k))
+            put(k + 3, "r{0} = ()".format(k))
+            put(k + 2, "elif info{0} is None:".format(k))
+            put(k + 3, "r{0} = o{0}".format(k))
+            put(k + 2, "elif len(o{0}) == 1:".format(k))
+            put(k + 3, "v{0} = o{0}[0]".format(k))
+            put(k + 3, "if v{0}.kind < {1}:".format(k, _FIRST_UPDATE))
+            put(k + 4, "N{0} = IN{0}.get(e{0}.id)".format(k))
+            put(k + 4, "if N{0} is not None and v{0}.id in N{0}:"
+                .format(k))
+            put(k + 5, "r{0} = o{0}".format(k))
+            put(k + 4, "elif info{0}[2] or v{0}.id in info{0}[1]:"
+                .format(k))
+            put(k + 5, "r{0} = (v{0}.relabel(info{0}[0]),)".format(k))
+            put(k + 4, "else:")
+            put(k + 5, "r{0} = o{0}".format(k))
+            put(k + 3, "else:")
+            put(k + 4, "r{0} = rl{0}(o{0}, e{0}.id)".format(k))
+            put(k + 2, "else:")
+            put(k + 3, "r{0} = rl{0}(o{0}, e{0}.id)".format(k))
+            put(k + 1, "else:")
+            put(k + 2, "w{0}.calls += 1".format(k))
+            put(k + 2, "if w{0}._loaded is not LIVE:".format(k))
+            put(k + 3, "L{0}(LIVE)".format(k))
+            put(k + 2, "t{0}.region_mutable = True".format(k))
+            put(k + 2, "t{0}.current_input_root = RT{0}.get(e{0}.id)"
+                .format(k))
+            put(k + 2, "t{0}.current_region = e{0}.id".format(k))
+            put(k + 2, "w{0}._resident = None".format(k))
+            put(k + 2, "r{0} = p{0}(e{0})".format(k))
+            put(k, "else:")
+            # Key carry: when the event object is unchanged from the
+            # previous level (a passthrough, or a handler returning the
+            # event itself), its routing key is too, and a FREEZE was
+            # already recorded in the fix map at first classification
+            # (``freeze`` is a set discard — idempotent, so skipping
+            # the repeat is exact).  Only valid after an active level:
+            # a dormant level diverts update kinds to the tail drive,
+            # so the carried key would never have been computed.
+            carry = k > 0 and flavors[k - 1] != "dormant"
+            if carry:
+                put(k + 1, "if e{0} is e{1}:".format(k, k - 1))
+                put(k + 2, "key{0} = key{1}".format(k, k - 1))
+                put(k + 1, "elif k{0} >= {1}:".format(k, _FREEZE))
+            else:
+                put(k + 1, "if k{0} >= {1}:".format(k, _FREEZE))
+            put(k + 2, "if k{0} == {1}:".format(k, _FREEZE))
+            put(k + 3, "fixf(e{0}.id)".format(k))
+            put(k + 2, "key{0} = e{0}.id".format(k))
+            put(k + 1, "elif k{0} & 1:".format(k))
+            put(k + 2, "key{0} = e{0}.id".format(k))
+            put(k + 1, "else:")
+            put(k + 2, "key{0} = e{0}.sub".format(k))
+            put(k + 1, "r{0} = H{0}[k{0}](e{0}) "
+                       "if key{0} in R{0} else (e{0},)".format(k))
+        put(k, "for e{0} in r{1}:".format(k + 1, k))
+    put(n, "if e{0}.kind == {1}:".format(n, _FREEZE))
+    put(n + 1, "fixf(e{0}.id)".format(n))
+    put(n, "emit(e{0})".format(n))
+    if batch and dormant_tail:
+        # A divert below level 0 cannot return straight out of its
+        # nested loops (siblings of the diverted event still traverse
+        # this frame, matching the per-event driver); the generation
+        # check lands once per source event instead.
+        put(0, "if SEG._gen != G:")
+        put(1, "_res(events, emit)")
+        put(1, "return")
+    return "\n".join(lines) + "\n"
+
+
+class FusedSegment:
+    """A run of stages compiled into one generated driver closure.
+
+    The pipeline drives the segment as one unit: ``_impl(event, emit)``
+    pushes one event through every fused level, handing each exit to
+    ``emit`` immediately.  All state lives in the wrapped stages; the
+    closure binds only objects whose identity is stable for the
+    wrappers' lifetime (handler tables, tracked maps, transformers), so
+    regenerating it is always safe and checkpoints simply drop it.
+    """
+
+    def __init__(self, wrappers: Sequence[UpdateWrapper], start: int,
+                 spec_dormant: Sequence[bool], ctx) -> None:
+        self.wrappers = list(wrappers)
+        self.start = start
+        self.spec_dormant = tuple(spec_dormant)
+        self.ctx = ctx
+        self.deopts = 0
+        self._gen = 0
+        self._init_tables()
+        self._build()
+
+    def _init_tables(self) -> None:
+        self._tables = [w.handlers for w in self.wrappers]
+        self._routes = [w.tracked for w in self.wrappers]
+
+    # -- code generation ----------------------------------------------------
+
+    def _flavors(self) -> List[str]:
+        return ["dormant" if (spec and w.dormant) else "active"
+                for spec, w in zip(self.spec_dormant, self.wrappers)]
+
+    def _build(self) -> None:
+        flavors = self._flavors()
+        self._gen_dormant = [f == "dormant" for f in flavors]
+        self._dormant_watch = tuple(
+            w for g, w in zip(self._gen_dormant, self.wrappers) if g)
+        source = _generate_source(self.wrappers, flavors)
+        self.source = source
+        # ``fix.freeze`` is exactly a discard on the not-fixed set (see
+        # MutabilityRegistry) and the set is assigned once for the
+        # context's lifetime, so the generated code binds the C-level
+        # method and skips a Python frame per freeze classification.
+        namespace = {"_tail": self._tail,
+                     "fixf": self.ctx.fix._not_fixed.discard,
+                     "LIVE": LIVE}
+        for k, w in enumerate(self.wrappers):
+            namespace["w{}".format(k)] = w
+            namespace["t{}".format(k)] = w.t
+            namespace["p{}".format(k)] = w.t.process
+            namespace["I{}".format(k)] = w.input_ids
+            namespace["H{}".format(k)] = w.handlers
+            namespace["R{}".format(k)] = w.tracked
+            # Facet-inline binds: every dict was assigned exactly once
+            # in UpdateWrapper.__init__ and is only ever mutated in
+            # place, so capturing the objects is safe for the wrapper's
+            # lifetime (same contract the routed interpreter relies on).
+            namespace["E{}".format(k)] = w.end
+            namespace["RC{}".format(k)] = w._rcfg
+            namespace["RT{}".format(k)] = w._root
+            namespace["RI{}".format(k)] = w._region_info
+            namespace["IN{}".format(k)] = w._inner
+            namespace["g{}".format(k)] = w.t.get_state
+            namespace["ss{}".format(k)] = w.t.set_state
+            namespace["rc{}".format(k)] = w._region_chain
+            namespace["rl{}".format(k)] = w._relabel_out
+            namespace["L{}".format(k)] = w._load
+        exec(compile(source, "<fused-segment>", "exec"), namespace)
+        self._impl = namespace["_fused"]
+        # The whole-batch entry point runs the source-event loop inside
+        # the generated frame.  Chunks with dormant levels can deopt
+        # mid-batch: the frame captures this build's generation and, the
+        # moment a divert regenerates the segment, hands the rest of the
+        # event iterator to :meth:`_resume` (per-event drive against the
+        # always-fresh ``_impl``).
+        self._gen += 1
+        namespace["SEG"] = self
+        namespace["G"] = self._gen
+        namespace["_res"] = self._resume
+        bsource = _generate_source(self.wrappers, flavors, batch=True)
+        try:
+            exec(compile(bsource, "<fused-segment-batch>", "exec"),
+                 namespace)
+        except SyntaxError:
+            # The extra source-event loop can push a deep chunk past
+            # CPython's static block-nesting limit; the per-event
+            # resume loop is the same drive minus the in-frame loop.
+            self._impl_batch = self._resume
+        else:
+            self._impl_batch = namespace["_fused_batch"]
+
+    # -- driving ------------------------------------------------------------
+
+    def feed(self, ev) -> list:
+        """Convenience drive: one event in, the flat exit list out."""
+        out: list = []
+        self._impl(ev, out.append)
+        return out
+
+    def _resume(self, it, emit) -> None:
+        """Finish a batch whose generated frame went stale mid-stream.
+
+        ``it`` is the batch iterator, positioned after the deopting
+        event; each remaining event re-reads ``_impl`` (a further deopt
+        swaps it again), which is the per-event driver's granularity.
+        """
+        for ev in it:
+            self._impl(ev, emit)
+
+    def _tail(self, k: int, ev, emit) -> None:
+        """Interpreted drive of ``ev`` through levels ``k..end``.
+
+        The update-kind slow path: an exact mirror of
+        ``Pipeline._drain`` (routing, fix-map writes, LIFO ordering)
+        restricted to this segment's stages, exits handed to ``emit``
+        as they surface.  If handling the event activated a wrapper the
+        generated code still treats as dormant, the closure is
+        regenerated before the next event (deopt) — the fast path never
+        runs against a stale dormancy assumption.
+        """
+        tables = self._tables
+        routes = self._routes
+        n = len(tables)
+        fix_freeze = self.ctx.fix.freeze
+        stack: List[tuple] = []
+        push = stack.append
+        pop = stack.pop
+        idx = k
+        while True:
+            kind = ev.kind
+            if kind < _FIRST_UPDATE:
+                key = ev.id
+            elif kind >= _FREEZE:
+                if kind == _FREEZE:
+                    fix_freeze(ev.id)
+                key = ev.id
+            elif kind & 1:
+                key = ev.id
+            else:
+                key = ev.sub
+            while idx < n and key not in routes[idx]:
+                idx += 1
+            if idx < n:
+                out = tables[idx][kind](ev)
+                m = len(out)
+                if m:
+                    idx += 1
+                    if m > 1:
+                        i = m - 1
+                        while i > 0:
+                            push((idx, out[i]))
+                            i -= 1
+                    ev = out[0]
+                    continue
+            else:
+                emit(ev)
+            if not stack:
+                break
+            idx, ev = pop()
+        for w in self._dormant_watch:
+            if not w.dormant:
+                self.deopts += 1
+                self._build()
+                break
+
+    # -- introspection / checkpointing --------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.start + len(self.wrappers),
+            "stages": [type(w.t).__name__ for w in self.wrappers],
+            "dormant": list(self._gen_dormant),
+            "deopts": self.deopts,
+        }
+
+    def __getstate__(self) -> dict:
+        # Generated artifacts (the closure, its source, the bound tail)
+        # never travel: a restored segment regenerates them against the
+        # restored wrappers' current dormancy.
+        return {"wrappers": self.wrappers, "start": self.start,
+                "spec_dormant": self.spec_dormant, "ctx": self.ctx,
+                "deopts": self.deopts}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._gen = 0
+        self._init_tables()
+        self._build()
+
+    def __repr__(self) -> str:
+        return "FusedSegment(stages {}..{}, {} dormant)".format(
+            self.start, self.start + len(self.wrappers),
+            sum(self._gen_dormant))

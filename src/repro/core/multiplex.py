@@ -124,6 +124,13 @@ class EventMultiplexer:
         #: :class:`repro.analysis.projection.ProjectionMask`).  Installed
         #: by the owning executor; empty means the unmasked fast path.
         self._masks: Dict[int, object] = {}
+        #: Shared prefix groups (see
+        #: :class:`repro.compile.sharing.SharedGroup`).  Member runs are
+        #: removed from the direct fan-out — the group feeds them from
+        #: its prefix pipeline's output — but keep their run indices for
+        #: results, stats, and quarantine accounting.
+        self._groups: List = []
+        self._grouped: frozenset = frozenset()
 
     def set_masks(self, masks: Dict[int, object]) -> None:
         """Install per-pipeline projection masks (run index -> mask).
@@ -135,8 +142,25 @@ class EventMultiplexer:
         """
         self._masks = dict(masks)
 
+    def set_groups(self, groups: Sequence) -> None:
+        """Install shared prefix groups; detach members from the fan-out."""
+        self._groups = list(groups)
+        self._grouped = frozenset(i for g in self._groups
+                                  for i in g.member_indices)
+        self._raw_pipelines = [(i, p) for i, p in self._raw_pipelines
+                               if i not in self._grouped]
+        self._stripped_pipelines = [(i, p)
+                                    for i, p in self._stripped_pipelines
+                                    if i not in self._grouped]
+
     def feed(self, event: Event) -> None:
         self.feed_batch((event,))
+
+    def _feed_groups(self, batch: Sequence[Event]) -> None:
+        for group in self._groups:
+            for i, exc in group.feed_batch(batch,
+                                           quarantine=self.quarantine):
+                self._quarantine(i, exc)
 
     def _quarantine(self, run_index: int, exc: BaseException) -> None:
         from ..fault import error_report
@@ -164,6 +188,8 @@ class EventMultiplexer:
         if self.guard is not None:
             self.guard.check_batch(batch)
         quarantine = self.quarantine
+        if self._groups:
+            self._feed_groups(batch)
         if self._masks:
             self._feed_batch_masked(batch)
             return
@@ -229,7 +255,7 @@ class EventMultiplexer:
         if self.guard is not None:
             self.guard.finish()
         for i, run in enumerate(self.runs):
-            if i in self.quarantined:
+            if i in self.quarantined or i in self._grouped:
                 continue
             if self.quarantine:
                 try:
@@ -238,6 +264,11 @@ class EventMultiplexer:
                     self._quarantine(i, exc)
             else:
                 run.finish()
+        # Grouped members flush through their group: the prefix's
+        # end-of-stream tail must reach them before their own on_end.
+        for group in self._groups:
+            for i, exc in group.finish(quarantine=self.quarantine):
+                self._quarantine(i, exc)
 
     # -- accounting ----------------------------------------------------------
 
@@ -254,6 +285,7 @@ class EventMultiplexer:
                 "raw_events_out": self.raw_events_out,
                 "stripped_events_out": self.stripped_events_out,
                 "masked_pipelines": len(self._masks),
+                "grouped_pipelines": len(self._grouped),
             },
             "shared_strip": self._stripper is not None,
             "validated_events": (self.guard.events_checked

@@ -93,12 +93,23 @@ class Pipeline:
         reclaim_on_freeze: Section V state reclamation (default on).
             ``False`` is the bench memory ablation: freezes forward and
             fix the mutability map as usual but state copies persist.
+        fusion: an optional
+            :class:`~repro.compile.fusion.FusionPlan`.  Runs of
+            streaming stages then execute through generated closures
+            (one call per fused segment per event) instead of the
+            per-stage drain; byte- and call-identical to the
+            interpreted path by construction.  Silently ignored — the
+            pipeline stays fully interpreted — whenever any observer
+            needs the per-stage event stream: sanitize (boundary
+            checkers interpose at every stage boundary), a recorder
+            (per-stage counters), or always-active mode (reference
+            accounting, routing off).
     """
 
     def __init__(self, ctx: Context, stages: Sequence[StateTransformer],
                  sink, always_active: bool = False,
                  sanitize: bool = False, recorder=None,
-                 reclaim_on_freeze: bool = True) -> None:
+                 reclaim_on_freeze: bool = True, fusion=None) -> None:
         self.ctx = ctx
         self.wrappers: List[UpdateWrapper] = [
             UpdateWrapper(t, always_active=always_active,
@@ -137,6 +148,103 @@ class Pipeline:
         if recorder is not None:
             recorder.attach(self.wrappers, stages)
         self._finished = False
+        self._fusion_plan = None
+        self._segments = None
+        self._drive = None
+        self._fast_seg = None
+        self._fast_emit = None
+        if (fusion is not None and getattr(fusion, "fused", False)
+                and self._routes is not None and self._checkers is None
+                and recorder is None):
+            self._fusion_plan = fusion
+            self._build_drive()
+
+    def _build_drive(self) -> None:
+        """Assemble the fused per-event driver from ``self._fusion_plan``.
+
+        The driver is a continuation chain, sink side first: each fused
+        segment's generated closure hands every exit event to the next
+        unit's drive *as it is produced* (stages allocate fresh stream
+        ids on the data path, so an exit must traverse the whole rest
+        of the chain before its segment computes the next exit — the
+        depth-first ordering the interpreter's LIFO stack provides).
+        Interpreted units (blocking stages, single-stage gaps) get a
+        closure replicating one iteration of :meth:`_drain`'s routing
+        block.  Only built when routing is on, sanitize is off, and no
+        recorder is attached — the states in which :meth:`_drain` would
+        perform exactly these steps.
+        """
+        # Local import: repro.compile depends on core modules.
+        from ..compile.fusion import MAX_SEGMENT, FusedSegment
+        # The generated driver spans the *entire* stage list: the inlined
+        # per-level routing block is exactly one _drain iteration for any
+        # wrapped stage (the wrapper's handler table has the same shape
+        # whether the transformer streams or buffers), so blocking stages
+        # ride along as active-flavor levels instead of paying a closure
+        # frame per event at every partition gap.  The fusion partition
+        # still decides which levels may use the dormant fast path.
+        specs = self._fusion_plan.segments
+        flags: List[bool] = []
+        for spec in specs:
+            if spec.fused:
+                flags.extend(spec.dormant)
+            else:
+                flags.extend([False] * (spec.end - spec.start))
+        n = len(self.wrappers)
+        # One generated closure per chunk of at most MAX_SEGMENT stages
+        # (bounds codegen size); chunks chain sink-first so each exit
+        # crosses the whole remaining pipeline before its chunk computes
+        # the next exit — the depth-first order the interpreter's LIFO
+        # stack provides, which the id allocator depends on.
+        bounds = list(range(0, n, MAX_SEGMENT)) + [n]
+        segments = []
+        emit = self.sink.process
+        for start, end in reversed(list(zip(bounds, bounds[1:]))):
+            seg = FusedSegment(self.wrappers[start:end], start,
+                               flags[start:end], self.ctx)
+            segments.append(seg)
+            seg_emit = emit
+
+            def chunk_drive(ev, _seg=seg, _emit=seg_emit):
+                # Re-read _impl per event: a deopt mid-batch swaps it.
+                _seg._impl(ev, _emit)
+            emit = chunk_drive
+        segments.reverse()
+        self._segments = segments
+        self._drive = emit
+        # feed_batch runs the first chunk's in-frame source loop and
+        # hands its exits to the rest of the chain (the sink directly in
+        # the common single-chunk case): no wrapper closure per source
+        # event anywhere.
+        self._fast_seg = segments[0]
+        self._fast_emit = seg_emit
+
+    @property
+    def fused(self) -> bool:
+        return self._drive is not None
+
+    def rebind_fused(self) -> None:
+        """Regenerate the fused driver after a transformer was patched.
+
+        Fused segments capture each stage's bound ``process`` at codegen
+        time, so in-place patches (fault injection) are invisible until
+        the driver is rebuilt.  Call before any events are fed — a
+        rebuild resets per-segment dormancy to the plan's static flags.
+        No-op on interpreted pipelines.
+        """
+        if self._fusion_plan is not None:
+            self._build_drive()
+
+    def fusion_info(self) -> Optional[dict]:
+        """Fusion introspection: segment layout and deopt counters."""
+        if self._fusion_plan is None or self._segments is None:
+            return None
+        return {
+            "units": len(self._fusion_plan.segments),
+            "stages": len(self.wrappers),
+            "segments": [seg.describe() for seg in self._segments],
+            "deopts": sum(seg.deopts for seg in self._segments),
+        }
 
     def feed(self, e: Event) -> None:
         """Push one source event through every stage into the sink.
@@ -152,6 +260,9 @@ class Pipeline:
         """
         if self._recorder is not None:
             self._drain_observed(0, (e,))
+            return
+        if self._drive is not None:
+            self._drive(e)
             return
         self._dispatch(0, e)
 
@@ -182,6 +293,20 @@ class Pipeline:
         """
         if self._recorder is not None:
             self._drain_observed(0, events)
+            return
+        fast = self._fast_seg
+        if fast is not None:
+            # The first chunk's source-event loop runs inside the
+            # generated frame (exits cross the rest of the chain via
+            # _fast_emit — the sink itself in the common single-chunk
+            # case); a mid-batch deopt hands the rest of the iterator
+            # to the per-event resume path (see FusedSegment._resume).
+            fast._impl_batch(events, self._fast_emit)
+            return
+        drive = self._drive
+        if drive is not None:
+            for e in events:
+                drive(e)
             return
         self._drain(0, events)
 
@@ -404,6 +529,9 @@ class Pipeline:
             "checkers": self._checkers,
             "routing": self._routes is not None,
             "finished": self._finished,
+            # The partition only (plain data).  Generated closures are
+            # rebuilt against the restored wrappers' current dormancy.
+            "fusion": self._fusion_plan,
         }
 
     def restore(self, blob: bytes) -> "Pipeline":
@@ -442,6 +570,30 @@ class Pipeline:
         else:
             for w in self.wrappers:
                 w.obs = None
+        self._fusion_plan = state.get("fusion")
+        self._segments = None
+        self._drive = None
+        self._fast_seg = None
+        self._fast_emit = None
+        if (self._fusion_plan is not None and self._routes is not None
+                and self._checkers is None and self._recorder is None):
+            self._build_drive()
+
+    def __getstate__(self) -> dict:
+        # Strip the generated driver chain (closures do not pickle);
+        # __setstate__ regenerates it from the stored fusion plan.
+        state = self.__dict__.copy()
+        state["_segments"] = None
+        state["_drive"] = None
+        state["_fast_seg"] = None
+        state["_fast_emit"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if (self._fusion_plan is not None and self._routes is not None
+                and self._checkers is None and self._recorder is None):
+            self._build_drive()
 
     # -- accounting ----------------------------------------------------------
 

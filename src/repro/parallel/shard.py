@@ -818,6 +818,10 @@ class ShardedMultiQueryRun:
         schema: optional DTD refinement for the projection matchers
             (name ``"xmark"``/``"dblp"`` or an ``ElementSchema``; must
             be picklable to cross the fork boundary).
+        fuse / share_prefixes: compile-layer switches, forwarded to
+            each worker's ``MultiQueryRun`` (stage fusion and shared
+            prefix tries are per-process — a shard's members can only
+            share with co-resident queries).
     """
 
     def __init__(self, queries: Sequence[str],
@@ -838,7 +842,9 @@ class ShardedMultiQueryRun:
                  checkpoint_interval: int = 16,
                  journal_limit: int = 1024,
                  projection: bool = False,
-                 schema=None) -> None:
+                 schema=None,
+                 fuse: Optional[bool] = None,
+                 share_prefixes: Optional[bool] = None) -> None:
         self.query_texts: List[str] = []
         for q in queries:
             if not isinstance(q, str):
@@ -866,7 +872,9 @@ class ShardedMultiQueryRun:
                              sample_interval=sample_interval,
                              quarantine=quarantine,
                              projection=projection,
-                             schema=schema)
+                             schema=schema,
+                             fuse=fuse,
+                             share_prefixes=share_prefixes)
         # Compile in the parent first: fail fast on a bad query before
         # any process is forked, and learn the stream metadata the
         # tokenizer needs (oids, source stream number, projection).  The

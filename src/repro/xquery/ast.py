@@ -45,6 +45,23 @@ class VarRef(Expr):
         return "${}".format(self.name)
 
 
+class Prebound(Expr):
+    """A stream already materialized by another pipeline.
+
+    The multi-query prefix-sharing layer (:mod:`repro.compile.sharing`)
+    rewrites each member query's leading path chain to a ``Prebound``
+    leaf carrying the shared prefix pipeline's output stream number; the
+    compiler then builds only the member's suffix stages against that
+    stream.  Never produced by the parser.
+    """
+
+    def __init__(self, stream_id: int) -> None:
+        self.stream_id = stream_id
+
+    def __repr__(self) -> str:
+        return "Prebound({})".format(self.stream_id)
+
+
 #: Step axes.
 CHILD = "child"
 DESCENDANT = "descendant"

@@ -76,14 +76,23 @@ class Compiler:
         mutable_source: when True the source may embed updates; predicate
             decisions stay revocable and backward joins keep their state
             (Section V pruning off).
+        clone_source: a pre-teed copy of the source stream to feed backward
+            joins from, instead of inserting a Tee at the front of this
+            plan.  The prefix-sharing layer passes the shared clone stream
+            here so every suffix with one backward step reads the same
+            copy.  A plan may consume it at most once (the clone branch's
+            DescendantStep destroys the stream), so sharing excludes
+            queries with more than one backward step.
     """
 
     def __init__(self, ctx: Optional[Context] = None, source_id: int = 0,
-                 mutable_source: bool = False) -> None:
+                 mutable_source: bool = False,
+                 clone_source: Optional[int] = None) -> None:
         self.ctx = ctx if ctx is not None else Context()
         self.ctx.ids.reserve(source_id)
         self.source_id = source_id
         self.mutable_source = mutable_source
+        self.clone_source = clone_source
         self.stages: List[StateTransformer] = []
         self.needs_oids = False
         self._env: dict = {}
@@ -101,6 +110,8 @@ class Compiler:
     def _compile(self, expr: ast.Expr, per_tuple: bool) -> int:
         if isinstance(expr, ast.Source):
             return self.source_id
+        if isinstance(expr, ast.Prebound):
+            return expr.stream_id
         if isinstance(expr, ast.VarRef):
             return self._compile_var(expr)
         if isinstance(expr, ast.Step):
@@ -154,10 +165,13 @@ class Compiler:
     def _compile_backward(self, expr: ast.Step, per_tuple: bool) -> int:
         incoming = self._compile(expr.base, per_tuple)
         self.needs_oids = True
-        clone = self.fresh()
-        # Clone immediately after the source (prepended before all other
-        # stages, paper Section VI-E).
-        self.stages.insert(0, Tee(self.ctx, self.source_id, clone))
+        if self.clone_source is not None:
+            clone = self.clone_source
+        else:
+            clone = self.fresh()
+            # Clone immediately after the source (prepended before all
+            # other stages, paper Section VI-E).
+            self.stages.insert(0, Tee(self.ctx, self.source_id, clone))
         # The clone branch is appended here — after every stage that
         # produces the incoming stream — so an incoming element's events
         # always reach the join before their clone copies.

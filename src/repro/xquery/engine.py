@@ -48,6 +48,16 @@ def _metrics_default() -> bool:
     return os.environ.get("REPRO_METRICS", "") not in ("", "0")
 
 
+def _fuse_default() -> bool:
+    """Opt into stage-fusion codegen via the REPRO_FUSE env variable."""
+    return os.environ.get("REPRO_FUSE", "") not in ("", "0")
+
+
+def _share_default() -> bool:
+    """Opt into prefix sharing via the REPRO_SHARE env variable."""
+    return os.environ.get("REPRO_SHARE", "") not in ("", "0")
+
+
 class QueryRun:
     """One live execution of a compiled query."""
 
@@ -61,11 +71,16 @@ class QueryRun:
                  metrics: Optional[bool] = None,
                  trace: bool = False,
                  sample_interval: int = 256,
-                 reclaim_on_freeze: bool = True) -> None:
+                 reclaim_on_freeze: bool = True,
+                 fuse: Optional[bool] = None,
+                 fusion_assume_updates: bool = False) -> None:
         if sanitize is None:
             sanitize = _sanitize_default()
         if metrics is None:
             metrics = _metrics_default()
+        if fuse is None:
+            fuse = _fuse_default()
+        self.fuse = bool(fuse)
         self.plan = plan
         self.display = Display(plan.result_id, on_change=on_change,
                                track_snapshots=track_snapshots)
@@ -75,11 +90,18 @@ class QueryRun:
                 sample_interval=sample_interval, trace=trace)
         else:
             self.recorder = None
+        fusion = None
+        if (self.fuse and not always_active and not sanitize
+                and self.recorder is None):
+            from ..compile.fusion import fusion_partition
+            fusion = fusion_partition(
+                plan, assume_updates=fusion_assume_updates)
         self.pipeline = Pipeline(plan.ctx, plan.stages, self.display,
                                  always_active=always_active,
                                  sanitize=sanitize,
                                  recorder=self.recorder,
-                                 reclaim_on_freeze=reclaim_on_freeze)
+                                 reclaim_on_freeze=reclaim_on_freeze,
+                                 fusion=fusion)
         from ..events.model import UpdateStripper
         self._stripper = UpdateStripper() if ignore_updates else None
         #: Set by projection-aware drivers (XFlux.run_xml with
@@ -169,6 +191,9 @@ class QueryRun:
             "stages": len(self.pipeline.wrappers),
             "per_stage": self.pipeline.stage_accounts(),
         }
+        fusion = self.pipeline.fusion_info()
+        if fusion is not None:
+            out["fusion"] = fusion
         if self.projection is not None:
             out["projection"] = self.projection.to_dict()
             if self.projection_stats is not None:
@@ -229,6 +254,15 @@ class MultiQueryRun:
         schema: optional DTD refinement for the projection matchers
             (an :class:`~repro.analysis.projection.ElementSchema` or
             the name ``"xmark"``/``"dblp"``).
+        fuse: stage-fusion codegen for every pipeline (prefix, member,
+            and independent); ``None`` reads ``REPRO_FUSE``.
+        share_prefixes: factor common leading axis/predicate chains
+            into shared prefix pipelines evaluated once per batch
+            (:mod:`repro.compile.sharing`); ``None`` reads
+            ``REPRO_SHARE``.  Silently off under sanitize /
+            always-active / telemetry — those observers are defined
+            over per-query stage boundaries — so differential runs
+            with those flags compare the unshared paths.
     """
 
     def __init__(self, queries, mutable_source: bool = False,
@@ -240,7 +274,9 @@ class MultiQueryRun:
                  quarantine: bool = True,
                  fault_plan=None,
                  projection: bool = False,
-                 schema=None) -> None:
+                 schema=None,
+                 fuse: Optional[bool] = None,
+                 share_prefixes: Optional[bool] = None) -> None:
         from ..core.multiplex import EventMultiplexer
         self.engines = []
         for q in queries:
@@ -250,23 +286,62 @@ class MultiQueryRun:
                 self.engines.append(XFlux(q, mutable_source=mutable_source,
                                           ignore_updates=ignore_updates))
         self.query_texts = [e.query_text for e in self.engines]
-        self.runs = []          # unique pipelines, construction order
+        eff_sanitize = (_sanitize_default() if sanitize is None
+                        else bool(sanitize))
+        eff_metrics = (_metrics_default() if metrics is None
+                       else bool(metrics))
+        if share_prefixes is None:
+            share_prefixes = _share_default()
+        self.share_prefixes = (bool(share_prefixes) and not always_active
+                               and not eff_sanitize and not eff_metrics)
         self._slots = []        # query index -> index into self.runs
         seen = {}
+        unique = []             # first engine of each unique slot
         for e in self.engines:
             key = ((e.query_text, e.mutable_source, e.ignore_updates)
                    if dedup else len(self._slots))
             slot = seen.get(key)
             if slot is None:
-                slot = len(self.runs)
+                slot = len(unique)
                 seen[key] = slot
-                self.runs.append(QueryRun(e.compile(),
-                                          ignore_updates=e.ignore_updates,
-                                          always_active=always_active,
-                                          sanitize=sanitize,
-                                          metrics=metrics,
-                                          sample_interval=sample_interval))
+                unique.append(e)
             self._slots.append(slot)
+        self._slot_engines = unique
+        #: Shared prefix groups (empty when sharing is off or nothing
+        #: shares); member runs live in ``self.runs`` like any other.
+        self.groups = []
+        grouped_runs = {}
+        if self.share_prefixes:
+            from ..compile.sharing import build_shared_groups
+
+            def make_run(plan, engine):
+                return QueryRun(plan,
+                                ignore_updates=engine.ignore_updates,
+                                always_active=always_active,
+                                sanitize=sanitize,
+                                metrics=metrics,
+                                sample_interval=sample_interval,
+                                fuse=fuse,
+                                fusion_assume_updates=True)
+
+            eff_fuse = _fuse_default() if fuse is None else bool(fuse)
+            self.groups = build_shared_groups(
+                list(enumerate(unique)), make_run, fuse=eff_fuse)
+            for g in self.groups:
+                for slot, run in g.members:
+                    grouped_runs[slot] = run
+        self.runs = []          # unique pipelines, construction order
+        for slot, e in enumerate(unique):
+            run = grouped_runs.get(slot)
+            if run is None:
+                run = QueryRun(e.compile(),
+                               ignore_updates=e.ignore_updates,
+                               always_active=always_active,
+                               sanitize=sanitize,
+                               metrics=metrics,
+                               sample_interval=sample_interval,
+                               fuse=fuse)
+            self.runs.append(run)
         source_ids = {r.plan.source_id for r in self.runs}
         if len(source_ids) > 1:
             raise ValueError("queries disagree on the source stream "
@@ -275,6 +350,8 @@ class MultiQueryRun:
         self.needs_oids = any(r.plan.needs_oids for r in self.runs)
         self.mux = EventMultiplexer(self.runs, validate=validate,
                                     quarantine=quarantine)
+        if self.groups:
+            self.mux.set_groups(self.groups)
         #: Union projection across unique pipelines (None when off).
         self.projection = None
         #: Tokenizer-side matcher for run_xml (None when nothing prunes).
@@ -287,13 +364,24 @@ class MultiQueryRun:
                                                ProjectionMatcher,
                                                derive_projection,
                                                union_projection)
-            projections = [derive_projection(r.plan) for r in self.runs]
+            # Grouped members hold suffix plans whose paths are relative
+            # to the shared prefix — deriving a projection from them
+            # would starve the prefix's own steps.  Their projections
+            # come from a throwaway full compile of the query instead.
+            grouped = {s for g in self.groups for s in g.member_indices}
+            projections = []
+            for slot, run in enumerate(self.runs):
+                plan = (self._slot_engines[slot].compile()
+                        if slot in grouped else run.plan)
+                projections.append(derive_projection(plan))
             self.projection = union_projection(projections)
             union_matcher = ProjectionMatcher(self.projection,
                                               schema=schema)
             if union_matcher.prunable and not self.needs_oids:
                 self.projection_matcher = union_matcher
             for i, (run, proj) in enumerate(zip(self.runs, projections)):
+                if i in grouped:
+                    continue
                 matcher = ProjectionMatcher(proj, schema=schema)
                 if not matcher.prunable:
                     continue
@@ -301,6 +389,12 @@ class MultiQueryRun:
                 self._masks[i] = mask
                 if run.recorder is not None:
                     run.recorder.projection = mask.counters
+            for g in self.groups:
+                gproj = union_projection(
+                    [projections[s] for s in g.member_indices])
+                gmatcher = ProjectionMatcher(gproj, schema=schema)
+                if gmatcher.prunable:
+                    g.mask = ProjectionMask(gmatcher, self.source_id)
             if self._masks:
                 self.mux.set_masks(self._masks)
         self.fault_plan = fault_plan
@@ -435,6 +529,18 @@ class MultiQueryRun:
         stats["quarantined"] = len(quarantined)
         stats["per_query"] = [stats["per_pipeline"][s]
                               for s in self._slots]
+        if self.groups:
+            prefix_calls = sum(g.pipeline.total_calls()
+                               for g in self.groups)
+            stats["sharing"] = {
+                "groups": [g.stats() for g in self.groups],
+                "shared_queries": sum(len(g.member_indices)
+                                      for g in self.groups),
+                "prefix_calls": prefix_calls,
+            }
+            # The aggregate counts every transformer dispatch actually
+            # performed, shared prefix stages included.
+            stats["transformer_calls"] += prefix_calls
         if self.projection is not None:
             stats["projection"] = self.projection_summary()
         if any(r.recorder is not None for r in self.runs):
@@ -520,14 +626,16 @@ class XFlux:
               metrics: Optional[bool] = None,
               trace: bool = False,
               sample_interval: int = 256,
-              reclaim_on_freeze: bool = True) -> QueryRun:
+              reclaim_on_freeze: bool = True,
+              fuse: Optional[bool] = None) -> QueryRun:
         """Begin a continuous run; feed it events as they arrive."""
         return QueryRun(self.compile(), on_change=on_change,
                         track_snapshots=track_snapshots,
                         ignore_updates=self.ignore_updates,
                         sanitize=sanitize, metrics=metrics, trace=trace,
                         sample_interval=sample_interval,
-                        reclaim_on_freeze=reclaim_on_freeze)
+                        reclaim_on_freeze=reclaim_on_freeze,
+                        fuse=fuse)
 
     def run(self, events: Iterable[Event], **kwargs) -> QueryRun:
         """Evaluate over a complete event stream."""

@@ -9,6 +9,8 @@ paper query, at every batch boundary, for plain documents and for
 update-bearing streams.
 """
 
+import os
+
 import pytest
 
 from repro.bench.harness import PAPER_QUERIES, QUERY_DATASET, Workloads
@@ -130,6 +132,50 @@ class TestMultiQueryRunRoundTrip:
         with pytest.raises(CheckpointError):
             MultiQueryRun.restore(blob, queries=[PAPER_QUERIES["Q2"]])
         assert MultiQueryRun.restore(blob) is not None
+
+    @pytest.mark.skipif(os.environ.get("REPRO_SANITIZE") == "1",
+                        reason="compile layers disengage under the "
+                               "sanitizer (transparency covered in "
+                               "test_fusion.py)")
+    @pytest.mark.parametrize("dataset", ["X", "D"])
+    def test_fused_shared_round_trip_at_every_boundary(self, workloads,
+                                                       dataset):
+        """Compile-layer state survives the envelope (fusion + sharing).
+
+        The shared prefix pipeline, its routing sink (open-bracket
+        depth, adopted region routes, partially filled feeds) and the
+        fused drivers are all mid-stream state; restoring at any frame
+        boundary and replaying the rest must land on the interpreted
+        executor's bytes.
+        """
+        names = [n for n in PAPER_QUERIES
+                 if QUERY_DATASET[n] == dataset]
+        queries = [PAPER_QUERIES[n] for n in names]
+        expected = MultiQueryRun(queries).run_xml(
+            workloads.text(dataset)).texts()
+
+        from repro.xmlio.tokenizer import tokenize
+        probe = MultiQueryRun(queries, fuse=True, share_prefixes=True)
+        assert probe.groups, "workload should form a shared group"
+        events = list(tokenize(workloads.text(dataset),
+                               stream_id=probe.source_id,
+                               emit_oids=probe.needs_oids))
+        primary = MultiQueryRun(queries, fuse=True, share_prefixes=True)
+        cut = 0
+        for boundary in _boundaries(len(events)):
+            primary.feed_all(events[cut:boundary])
+            cut = boundary
+            restored = MultiQueryRun.restore(primary.checkpoint(),
+                                             queries=queries)
+            assert restored.groups and restored.share_prefixes
+            restored.feed_all(events[boundary:])
+            restored.finish()
+            assert restored.texts() == expected, \
+                "{} diverged after restore at event {}".format(
+                    dataset, boundary)
+        # Checkpointing must be non-destructive for the primary too.
+        primary.feed_all(events[cut:])
+        assert primary.finish().texts() == expected
 
 
 class TestEnvelope:

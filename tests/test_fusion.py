@@ -1,0 +1,301 @@
+"""Differential suite for the compile layers (repro.compile).
+
+Two flag-gated optimizations are under test — stage fusion and
+multi-query prefix sharing — and the contract for both is the same:
+*byte-identical* answers to the interpreted, unshared pipelines, over
+every paper query, in every flag combination, with and without the
+protocol sanitizer, under sharding, and over update-bearing streams.
+Where sharing engages, the total transformer-call count must *drop*
+(the shared prefix evaluates once instead of once per member); where a
+fault strikes, quarantine must detach exactly the right queries.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import PAPER_QUERIES, QUERY_DATASET, Workloads
+from repro.compile import describe_sharing, fusion_partition
+from repro.data.stock import StockTicker
+from repro.fault import arm_stage_fault
+from repro.parallel import ShardedMultiQueryRun
+from repro.xquery.engine import MultiQueryRun, QueryRun, XFlux
+
+SCALE = 0.02
+
+# Under an ambient sanitizer the compile layers disengage by design
+# (BoundaryChecker interposition observes stage boundaries): the byte-
+# identity halves of these tests still run, but assertions that the
+# layers *engaged* cannot hold and are gated or skipped.
+SANITIZED = os.environ.get("REPRO_SANITIZE") == "1"
+
+FLAG_MATRIX = [(False, False), (True, False), (False, True), (True, True)]
+FLAG_IDS = ["plain", "fuse", "share", "both"]
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return Workloads(xmark_scale=SCALE, dblp_scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def reference(workloads):
+    return {name: XFlux(query).run_xml(
+                workloads.text(QUERY_DATASET[name])).text()
+            for name, query in PAPER_QUERIES.items()}
+
+
+def _dataset_queries(dataset):
+    return [(n, PAPER_QUERIES[n]) for n in PAPER_QUERIES
+            if QUERY_DATASET[n] == dataset]
+
+
+def _run_matrix(workloads, dataset, fuse, share, **kwargs):
+    named = _dataset_queries(dataset)
+    mq = MultiQueryRun([q for _, q in named], fuse=fuse,
+                       share_prefixes=share, **kwargs)
+    mq.run_xml(workloads.text(dataset))
+    return named, mq
+
+
+class TestSingleQueryFusion:
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_fused_is_byte_and_call_identical(self, workloads, reference,
+                                              name):
+        query = PAPER_QUERIES[name]
+        text = workloads.text(QUERY_DATASET[name])
+        plain = XFlux(query).run_xml(text)
+        fused = XFlux(query).run_xml(text, fuse=True)
+        assert fused.text() == reference[name]
+        # Fusion eliminates dispatch, never work: the per-stage
+        # transformer accounting is unchanged.
+        assert fused.stats()["transformer_calls"] == \
+            plain.stats()["transformer_calls"]
+        if not SANITIZED:
+            assert fused.pipeline.fused
+
+    def test_partition_covers_every_stage(self):
+        for name, query in PAPER_QUERIES.items():
+            plan = XFlux(query).compile()
+            fusion = fusion_partition(plan)
+            covered = sum(spec.end - spec.start
+                          for spec in fusion.segments)
+            assert covered == len(plan.stages), name
+
+    def test_sanitize_still_byte_identical(self, workloads, reference,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        for name in ("Q2", "Q7", "Q9"):
+            query = PAPER_QUERIES[name]
+            text = workloads.text(QUERY_DATASET[name])
+            run = XFlux(query).run_xml(text, fuse=True)
+            assert run.text() == reference[name]
+
+
+@pytest.mark.skipif(SANITIZED, reason="deopt requires engaged fusion")
+class TestDeopt:
+    def test_mid_batch_deopt_stays_byte_identical(self):
+        """An update arriving at a dormant-flavor level deopts the
+        generated batch frame mid-stream; the rest of the batch must
+        run against the regenerated code and land on the interpreted
+        bytes (the resume hand-off in ``FusedSegment``)."""
+        query = 'S//quote[name="IBM"]/price'
+        events = StockTicker(n_updates=120, mutable_names=True,
+                             name_update_fraction=0.3, seed=3).events()
+        expected = XFlux(query).run(events).text()
+        fused = XFlux(query).start(fuse=True)
+        fused.feed_all(events)
+        fused.finish()
+        assert fused.text() == expected
+        info = fused.pipeline.fusion_info()
+        assert info["deopts"] >= 1
+        # The deopted level was demoted to active flavor for good.
+        assert not any(any(s["dormant"]) for s in info["segments"])
+
+
+class TestMultiQueryMatrix:
+    @pytest.mark.parametrize("dataset", ["X", "D"])
+    @pytest.mark.parametrize("fuse,share", FLAG_MATRIX, ids=FLAG_IDS)
+    def test_byte_identical(self, workloads, reference, dataset, fuse,
+                            share):
+        named, mq = _run_matrix(workloads, dataset, fuse, share)
+        for (name, _), text in zip(named, mq.texts()):
+            assert text == reference[name], name
+
+    @pytest.mark.skipif(SANITIZED, reason="sharing disengages")
+    @pytest.mark.parametrize("dataset", ["X", "D"])
+    def test_sharing_reduces_transformer_calls(self, workloads, dataset):
+        _, plain = _run_matrix(workloads, dataset, False, False)
+        _, shared = _run_matrix(workloads, dataset, False, True)
+        assert shared.groups, "expected a shared group on {}".format(
+            dataset)
+        # The aggregate includes the shared prefix's own calls; the
+        # deduplicated leading steps must still win overall.
+        assert shared.stats()["transformer_calls"] < \
+            plain.stats()["transformer_calls"]
+
+    @pytest.mark.skipif(SANITIZED, reason="sharing disengages")
+    def test_expected_groups_form(self, workloads):
+        _, mq = _run_matrix(workloads, "X", False, True)
+        [group] = mq.groups
+        slots = sorted(s for s in group.member_indices)
+        names = [_dataset_queries("X")[s][0] for s in slots]
+        assert names == ["Q2", "Q4", "Q5", "Q6", "Q7"]
+        _, mq = _run_matrix(workloads, "D", False, True)
+        [group] = mq.groups
+        assert len(group.member_indices) == 2    # Q8 and Q9
+
+    @pytest.mark.parametrize("fuse,share", FLAG_MATRIX, ids=FLAG_IDS)
+    def test_sanitize_env_still_byte_identical(self, workloads,
+                                               reference, monkeypatch,
+                                               fuse, share):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        named, mq = _run_matrix(workloads, "X", fuse, share)
+        # Sharing is defined over un-observed stage boundaries; under
+        # the sanitizer it must disengage rather than misbehave.
+        assert not mq.groups
+        for (name, _), text in zip(named, mq.texts()):
+            assert text == reference[name], name
+
+    @pytest.mark.parametrize("fuse,share", FLAG_MATRIX, ids=FLAG_IDS)
+    def test_projection_stacks(self, workloads, reference, fuse, share):
+        named, mq = _run_matrix(workloads, "X", fuse, share,
+                                projection=True, schema="xmark")
+        for (name, _), text in zip(named, mq.texts()):
+            assert text == reference[name], name
+
+
+class TestSharded:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_fused_shared_shards_byte_identical(self, workloads,
+                                                reference, workers):
+        named = _dataset_queries("X")
+        smq = ShardedMultiQueryRun([q for _, q in named],
+                                   workers=workers, fuse=True,
+                                   share_prefixes=True)
+        smq.run_xml(workloads.text("X"))
+        for (name, _), text in zip(named, smq.texts()):
+            assert text == reference[name], name
+
+
+class TestUpdateStreams:
+    QUERIES = ['S//quote[name="IBM"]/price',
+               'S//quote[name="IBM"]/name',
+               'count(S//quote[name="IBM"])',
+               'S//quote/price']
+
+    @pytest.fixture(scope="class")
+    def events(self):
+        return StockTicker(n_updates=300, mutable_names=True,
+                           name_update_fraction=0.3, seed=7).events()
+
+    @pytest.fixture(scope="class")
+    def ticker_reference(self, events):
+        return [XFlux(q, mutable_source=True).run(events).text()
+                for q in self.QUERIES]
+
+    @pytest.mark.parametrize("fuse,share", FLAG_MATRIX, ids=FLAG_IDS)
+    def test_matrix_byte_identical(self, events, ticker_reference, fuse,
+                                   share):
+        mq = MultiQueryRun(self.QUERIES, mutable_source=True, fuse=fuse,
+                           share_prefixes=share)
+        mq.run(events)
+        if share and not SANITIZED:
+            assert mq.groups     # the //quote chain is shared
+        assert mq.texts() == ticker_reference
+
+
+@pytest.mark.skipif(SANITIZED,
+                    reason="quarantine scope is defined over an "
+                           "engaged shared group")
+class TestQuarantineIsolation:
+    def _fused_shared(self, workloads):
+        named = _dataset_queries("X")
+        mq = MultiQueryRun([q for _, q in named], fuse=True,
+                           share_prefixes=True)
+        assert mq.groups
+        return named, mq
+
+    def test_member_fault_detaches_only_that_query(self, workloads,
+                                                   reference):
+        named, mq = self._fused_shared(workloads)
+        [group] = mq.groups
+        victim_slot, victim_run = group.members[0]
+        arm_stage_fault(victim_run, stage=0, at=5, query=victim_slot)
+        mq.run_xml(workloads.text("X"))
+        statuses = mq.statuses()
+        assert statuses[victim_slot] == "quarantined"
+        for slot, ((name, _), text) in enumerate(zip(named, mq.texts())):
+            if slot == victim_slot:
+                assert text is None
+            else:
+                assert statuses[slot] == "ok"
+                assert text == reference[name], name
+        assert victim_slot not in group.live
+
+    def test_prefix_fault_detaches_exactly_the_members(self, workloads,
+                                                       reference):
+        named, mq = self._fused_shared(workloads)
+        [group] = mq.groups
+
+        def explode(events):
+            raise RuntimeError("injected prefix fault")
+        group.pipeline.feed_batch = explode
+
+        mq.run_xml(workloads.text("X"))
+        statuses = mq.statuses()
+        members = set(group.member_indices)
+        for slot, ((name, _), text) in enumerate(zip(named, mq.texts())):
+            if slot in members:
+                assert statuses[slot] == "quarantined"
+                assert text is None
+            else:
+                assert statuses[slot] == "ok"
+                assert text == reference[name], name
+        assert group.dead
+
+
+class TestDescribeSharing:
+    def test_paper_query_trie(self):
+        report = describe_sharing(list(PAPER_QUERIES.items()))
+        assert report["queries"] == len(PAPER_QUERIES)
+        shared = {p["prefix"]: set(p["queries"])
+                  for p in report["prefixes"] if p["shared"]}
+        assert {"Q2", "Q4", "Q5", "Q6", "Q7"} <= \
+            set().union(*shared.values())
+        assert any(set(q) == {"Q8", "Q9"} for q in shared.values())
+
+
+# -- property: a forced common prefix never changes answers ----------------
+
+_SUFFIX_TAGS = ["quantity", "location", "payment", "description",
+                "name", "nonexistent"]
+_reference_cache = {}
+
+
+def _cached_reference(query, text):
+    if query not in _reference_cache:
+        _reference_cache[query] = XFlux(query).run_xml(text).text()
+    return _reference_cache[query]
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(suffixes=st.tuples(
+    st.lists(st.sampled_from(_SUFFIX_TAGS), min_size=1, max_size=2),
+    st.lists(st.sampled_from(_SUFFIX_TAGS), min_size=1, max_size=2)),
+    predicate=st.booleans())
+def test_forced_common_prefix_is_transparent(workloads, suffixes,
+                                             predicate):
+    base = ('X//item[location="Albania"]' if predicate else "X//item")
+    queries = [base + "/" + "/".join(suffix) for suffix in suffixes]
+    text = workloads.text("X")
+    expected = [_cached_reference(q, text) for q in queries]
+    mq = MultiQueryRun(queries, share_prefixes=True)
+    mq.run_xml(text)
+    assert mq.texts() == expected
+    if queries[0] != queries[1] and not SANITIZED:
+        # Distinct suffixes over one forced prefix must actually share.
+        assert mq.groups
