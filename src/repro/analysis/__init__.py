@@ -10,12 +10,21 @@ Two complementary checkers for compiled pipelines:
   regions).
 * :mod:`~repro.analysis.sanitize` — validate the event protocol at every
   stage boundary at run time (``sanitize=True`` / ``REPRO_SANITIZE=1``).
+* :mod:`~repro.analysis.types` — schema-aware regular-expression type
+  inference over compiled plans: per-stage element languages, static
+  emptiness proofs, dead-stage elimination, and update-effect checks
+  against an :class:`~repro.analysis.schema.ElementSchema` (built by
+  hand or parsed from a DTD).
 """
 
 from .sanitize import BoundaryChecker, boundary_checkers, check_stream
+from .schema import ElementSchema, SchemaError, known_schema
 from .static_plan import (BracketFamily, PlanReport, StageReport,
                           analyze_plan, analyze_query, render_report,
                           report_to_dict, verify_against_runtime)
+from .types import (StageTypeReport, StreamType, TypeCheckError,
+                    TypeReport, constant_empty_plan, infer_types,
+                    optimize_plan, verify_types_against_runtime)
 
 __all__ = [
     "BoundaryChecker",
@@ -29,4 +38,15 @@ __all__ = [
     "render_report",
     "report_to_dict",
     "verify_against_runtime",
+    "ElementSchema",
+    "SchemaError",
+    "known_schema",
+    "StreamType",
+    "StageTypeReport",
+    "TypeReport",
+    "TypeCheckError",
+    "infer_types",
+    "optimize_plan",
+    "constant_empty_plan",
+    "verify_types_against_runtime",
 ]

@@ -203,53 +203,11 @@ def union_projection(
     return QueryProjection(paths=frozenset(merged))
 
 
-class ElementSchema:
-    """DTD-like refinement: which elements can occur under which.
-
-    Args:
-        children: ``tag -> iterable of child tags``.  Tags absent from
-            the map are *unknown*: the matcher stays conservative under
-            them.  The transitive descendant-reachability closure is
-            precomputed once.
-    """
-
-    def __init__(self, children: Dict[str, Iterable[str]]) -> None:
-        self._children: Dict[str, FrozenSet[str]] = {
-            tag: frozenset(kids) for tag, kids in children.items()}
-        self._descendants: Dict[str, FrozenSet[str]] = {}
-        for tag in self._children:
-            self._descendants[tag] = self._close(tag)
-
-    def _close(self, tag: str) -> FrozenSet[str]:
-        seen: set = set()
-        frontier = list(self._children.get(tag, ()))
-        while frontier:
-            t = frontier.pop()
-            if t in seen:
-                continue
-            seen.add(t)
-            frontier.extend(self._children.get(t, ()))
-        return frozenset(seen)
-
-    def children(self, tag: str) -> Optional[FrozenSet[str]]:
-        return self._children.get(tag)
-
-    def descendants(self, tag: str) -> Optional[FrozenSet[str]]:
-        return self._descendants.get(tag)
-
-
-def known_schema(name: Optional[str]) -> Optional[ElementSchema]:
-    """Resolve a named workload schema (``"xmark"`` / ``"dblp"``)."""
-    if name is None or isinstance(name, ElementSchema):
-        return name
-    if name == "xmark":
-        from ..data.xmark import element_children
-    elif name == "dblp":
-        from ..data.dblp import element_children
-    else:
-        raise ValueError("unknown schema {!r} (expected 'xmark', 'dblp' "
-                         "or an ElementSchema)".format(name))
-    return ElementSchema(element_children())
+# ElementSchema was born here (PR 6) as a bare reachability map; the
+# type checker grew it into a full content-model schema with a generic
+# DTD parser, so it now lives in analysis/schema.py.  Re-exported for
+# back-compat: existing callers import it from this module.
+from .schema import ElementSchema, known_schema  # noqa: E402,F401
 
 
 class ProjectionMatcher:

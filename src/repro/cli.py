@@ -43,6 +43,7 @@ reachability (paper query names Q1..Q9 are accepted as shorthand):
     python -m repro analyze Q3 --json
     python -m repro analyze Q2 --fusion      # compile-layer partition
     python -m repro analyze --fusion         # joint Q1..Q9 prefix trie
+    python -m repro analyze Q1 --types --schema xmark  # type checker
 
 two telemetry subcommands that run a query with the observability
 layer attached (paper query names synthesize their dataset when no
@@ -103,8 +104,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
                          "irrelevant subtrees in the tokenizer (XML "
                          "input only; byte-identical by construction)")
     ap.add_argument("--schema",
-                    help="schema refinement for --projection: 'xmark' "
-                         "or 'dblp'")
+                    help="schema refinement for --projection: 'xmark', "
+                         "'dblp', or a DTD file path")
     ap.add_argument("--fuse", action="store_true",
                     help="compile the pipeline into fused stage "
                          "segments (byte-identical by construction; "
@@ -136,8 +137,15 @@ def build_analyze_arg_parser() -> argparse.ArgumentParser:
                     help="also print the derived stream projection "
                          "(path set, or the universal fallback and why)")
     ap.add_argument("--schema",
-                    help="schema refinement for the projection: "
-                         "'xmark' or 'dblp'")
+                    help="schema for the projection and the type "
+                         "checker: 'xmark', 'dblp', or a DTD file path")
+    ap.add_argument("--types", action="store_true",
+                    help="also run the static type checker: per-stage "
+                         "regular-expression types, emptiness proofs, "
+                         "dead stages, and update-effect lints (add "
+                         "--schema to sharpen; with --input, the "
+                         "inferred emptiness is cross-checked against "
+                         "runtime event counts)")
     ap.add_argument("--fusion", action="store_true",
                     help="also report the compile layers: the plan's "
                          "stage-fusion partition plus the joint Q1..Q9 "
@@ -148,26 +156,32 @@ def build_analyze_arg_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def _fusion_partition(plan) -> dict:
+    """The plan's stage-fusion segment partition, as plain data."""
+    from .compile import fusion_partition
+    fplan = fusion_partition(plan)
+    stage_names = [type(s).__name__ for s in plan.stages]
+    return {
+        "stages": fplan.n_stages,
+        "units": len(fplan.segments),
+        "fused": fplan.fused,
+        "segments": [
+            {"start": spec.start, "end": spec.end,
+             "fused": spec.fused,
+             "stages": stage_names[spec.start:spec.end],
+             "dormant_levels": list(spec.dormant)}
+            for spec in fplan.segments],
+    }
+
+
 def _fusion_report(plan=None) -> dict:
     """Compile-layer analysis: fusion partition + joint sharing trie."""
     from .bench.harness import PAPER_QUERIES
-    from .compile import describe_sharing, fusion_partition
+    from .compile import describe_sharing
     payload = {"shared_prefix_trie":
                describe_sharing(list(PAPER_QUERIES.items()))}
     if plan is not None:
-        fplan = fusion_partition(plan)
-        stage_names = [type(s).__name__ for s in plan.stages]
-        payload["partition"] = {
-            "stages": fplan.n_stages,
-            "units": len(fplan.segments),
-            "fused": fplan.fused,
-            "segments": [
-                {"start": spec.start, "end": spec.end,
-                 "fused": spec.fused,
-                 "stages": stage_names[spec.start:spec.end],
-                 "dormant_levels": list(spec.dormant)}
-                for spec in fplan.segments],
-        }
+        payload["partition"] = _fusion_partition(plan)
     return payload
 
 
@@ -198,11 +212,29 @@ def _render_fusion(payload: dict, out) -> None:
         print("  excluded {}: {}".format(name, why), file=out)
 
 
+def _resolve_query_name(name: str, err) -> Optional[str]:
+    """Map a paper query name to its text; reject unknown ``Qn`` names.
+
+    A bare name matching the ``Qn`` pattern that is *not* a known paper
+    query is almost certainly a typo, not a query — failing it fast
+    with the valid range beats a confusing parse error.  Returns the
+    query text, or ``None`` after printing the diagnostic.
+    """
+    import re
+    from .bench.harness import PAPER_QUERIES
+    if name in PAPER_QUERIES:
+        return PAPER_QUERIES[name]
+    if re.fullmatch(r"[Qq]\d+", name):
+        print("error: unknown paper query name {!r} (expected Q1..Q{})"
+              .format(name, len(PAPER_QUERIES)), file=err)
+        return None
+    return name
+
+
 def analyze_main(argv, out, err) -> int:
     import json
     from .analysis import analyze_plan, render_report, report_to_dict, \
         verify_against_runtime
-    from .bench.harness import PAPER_QUERIES
     from .xquery.engine import QueryRun
     args = build_analyze_arg_parser().parse_args(list(argv))
     if args.query_file:
@@ -220,7 +252,9 @@ def analyze_main(argv, out, err) -> int:
               file=err)
         return 2
     else:
-        query_text = PAPER_QUERIES.get(args.query, args.query)
+        query_text = _resolve_query_name(args.query, err)
+        if query_text is None:
+            return 2
 
     try:
         engine = XFlux(query_text, mutable_source=args.mutable_source)
@@ -233,15 +267,39 @@ def analyze_main(argv, out, err) -> int:
     except Exception as exc:  # parse/compile diagnostics for the user
         print("error: {}".format(exc), file=err)
         return 2
+    # Type inference backs both the --types report and the always-on
+    # "types" block of --json.  A mutable source only *fails* the run
+    # when the caller explicitly asked for --types; the JSON block
+    # records why inference was skipped instead.
+    type_report = None
+    type_skip = None
+    if args.types or args.json:
+        from .analysis import SchemaError, TypeCheckError, infer_types
+        try:
+            type_report = infer_types(plan, schema=args.schema)
+        except TypeCheckError as exc:
+            type_skip = str(exc)
+            if args.types:
+                print("error: --types: {}".format(exc), file=err)
+                return 2
+        except (SchemaError, ValueError) as exc:
+            print("error: --schema: {}".format(exc), file=err)
+            return 2
     fusion_payload = _fusion_report(plan) if args.fusion else None
     payload = report_to_dict(report) if args.json else None
     if payload is not None:
         payload["projection"] = dict(proj.to_dict(), prunable=prunable,
                                      schema=args.schema)
-        if fusion_payload is not None:
-            payload["fusion"] = fusion_payload
+        payload["types"] = (type_report.to_dict()
+                            if type_report is not None
+                            else {"skipped": type_skip})
+        payload["fusion"] = (fusion_payload
+                             if fusion_payload is not None
+                             else {"partition": _fusion_partition(plan)})
     if not args.json:
         print(render_report(report), file=out)
+        if args.types and type_report is not None:
+            print(type_report.render(), file=out)
         if fusion_payload is not None:
             _render_fusion(fusion_payload, out)
         if args.projection:
@@ -261,8 +319,12 @@ def analyze_main(argv, out, err) -> int:
             print(json.dumps(payload, indent=2), file=out)
         return 0
     # Dynamic cross-check: run the SAME plan so stream numbers line up.
+    # With --types the run records per-stage event counts so inferred
+    # emptiness can be held against what actually flowed.
+    check_types = args.types and type_report is not None
     text = _read_text(args.input)
-    run = QueryRun(plan, sanitize=True if args.sanitize else None)
+    run = QueryRun(plan, sanitize=True if args.sanitize else None,
+                   metrics=True if check_types else None)
     try:
         run.feed_all(_event_source(text, args.events, plan.needs_oids))
         run.finish()
@@ -270,18 +332,33 @@ def analyze_main(argv, out, err) -> int:
         print("error: {}".format(exc), file=err)
         return 1
     problems = verify_against_runtime(plan, report)
+    type_problems = []
+    if check_types and run.recorder is not None:
+        from .analysis import verify_types_against_runtime
+        type_problems = verify_types_against_runtime(type_report,
+                                                     run.recorder)
     if args.json:
         payload["runtime_check"] = {"agrees": not problems,
                                     "problems": problems}
+        if check_types:
+            payload["runtime_check"]["type_contradictions"] = \
+                type_problems
         print(json.dumps(payload, indent=2), file=out)
-        return 1 if problems else 0
+        return 1 if (problems or type_problems) else 0
     if problems:
         print("runtime fix map DISAGREES with the static analysis:",
               file=out)
         for p in problems:
             print("  - {}".format(p), file=out)
         return 1
+    if type_problems:
+        print("runtime events CONTRADICT the inferred types:", file=out)
+        for p in type_problems:
+            print("  - {}".format(p), file=out)
+        return 1
     print("runtime fix map agrees with the static analysis.", file=out)
+    if check_types:
+        print("runtime events agree with the inferred types.", file=out)
     return 0
 
 
@@ -316,8 +393,8 @@ def build_telemetry_arg_parser(prog: str,
                          "the pruning counters land in the metrics JSON "
                          "(XML input only)")
     ap.add_argument("--schema",
-                    help="schema refinement for --projection: 'xmark' "
-                         "or 'dblp'")
+                    help="schema refinement for --projection: 'xmark', "
+                         "'dblp', or a DTD file path")
     ap.add_argument("--out", help="write the JSON here instead of stdout")
     ap.add_argument("--indent", type=int, default=2,
                     help="JSON indentation (default 2)")
@@ -331,7 +408,9 @@ def telemetry_main(argv, out, err, tracing: bool) -> int:
     prog = "trace" if tracing else "stats"
     args = build_telemetry_arg_parser(prog, tracing).parse_args(
         list(argv))
-    query_text = PAPER_QUERIES.get(args.query, args.query)
+    query_text = _resolve_query_name(args.query, err)
+    if query_text is None:
+        return 2
 
     try:
         engine = XFlux(query_text, mutable_source=args.mutable_source)

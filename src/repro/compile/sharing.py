@@ -273,10 +273,10 @@ class _FeedClass:
         self.keep_ids = keep_ids
         self.slots = slots
 
-    def __getstate__(self):
+    def __getstate__(self) -> Tuple[frozenset, List[int]]:
         return (self.keep_ids, self.slots)
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Tuple[frozenset, List[int]]) -> None:
         self.keep_ids, self.slots = state
 
 

@@ -131,6 +131,26 @@ class EventMultiplexer:
         #: results, stats, and quarantine accounting.
         self._groups: List = []
         self._grouped: frozenset = frozenset()
+        #: Run indices proven statically empty by the type checker
+        #: (:mod:`repro.analysis.types`).  Detached from the fan-out
+        #: entirely: their answer is the empty sequence for *every*
+        #: input, so feeding them would be pure overhead.
+        self.static_empty: frozenset = frozenset()
+
+    def set_static_empty(self, indices: Iterable[int]) -> None:
+        """Detach statically-empty pipelines from the fan-out.
+
+        The owning executor installs the run indices whose plans the
+        type checker proved empty for every document of the declared
+        schema.  Those pipelines are never fed and never finished —
+        their displays stay at the provably correct empty answer.
+        """
+        self.static_empty = frozenset(indices)
+        self._raw_pipelines = [(i, p) for i, p in self._raw_pipelines
+                               if i not in self.static_empty]
+        self._stripped_pipelines = [(i, p)
+                                    for i, p in self._stripped_pipelines
+                                    if i not in self.static_empty]
 
     def set_masks(self, masks: Dict[int, object]) -> None:
         """Install per-pipeline projection masks (run index -> mask).
@@ -255,7 +275,8 @@ class EventMultiplexer:
         if self.guard is not None:
             self.guard.finish()
         for i, run in enumerate(self.runs):
-            if i in self.quarantined or i in self._grouped:
+            if (i in self.quarantined or i in self._grouped
+                    or i in self.static_empty):
                 continue
             if self.quarantine:
                 try:
@@ -286,6 +307,7 @@ class EventMultiplexer:
                 "stripped_events_out": self.stripped_events_out,
                 "masked_pipelines": len(self._masks),
                 "grouped_pipelines": len(self._grouped),
+                "static_empty_pipelines": len(self.static_empty),
             },
             "shared_strip": self._stripper is not None,
             "validated_events": (self.guard.events_checked

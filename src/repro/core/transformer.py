@@ -29,7 +29,7 @@ from __future__ import annotations
 import enum
 from typing import List, Optional, Sequence, Tuple
 
-from ..events.model import Event, IdGenerator
+from ..events.model import ES, ET, SS, ST, Event, IdGenerator
 
 
 class MutabilityRegistry:
@@ -228,6 +228,46 @@ class StateTransformer:
             "projection": {"kind": "content"},
         }
 
+    def type_facts(self) -> dict:
+        """How this stage transforms element *types* (see
+        :mod:`repro.analysis.types`).
+
+        The type checker propagates, per stream, a regular-expression
+        content type (which element tags / text an item sequence may
+        contain under a document schema).  Each operator declares its
+        transfer function as a small dict keyed on ``kind``:
+
+        * ``{"kind": "step", "axis": "child"|"descendant", "tag": t}`` —
+          navigation: output labels are the schema children/descendants
+          of the input labels, filtered to ``t`` (``None`` = wildcard).
+        * ``{"kind": "copy"}`` — output type is the union of the input
+          types (tee, self step, tuple plumbing).
+        * ``{"kind": "filter"}`` — output is a sub-language of the input
+          (predicates; the checker reads ``self.conditions`` to prove a
+          never-true condition empty).
+        * ``{"kind": "text"}`` — emits character data per input item
+          (text step, string value): empty input => empty output.
+        * ``{"kind": "flag"}`` — emits boolean flag cDs per input value
+          (comparisons, exists): empty input => empty output.
+        * ``{"kind": "literal"}`` — emits literal text per tuple.
+        * ``{"kind": "union"}`` — output is the union of both inputs
+          (concatenation): empty only when *both* inputs are.
+        * ``{"kind": "construct", "tag": t, "always": bool}`` — wraps
+          content in a constructed element ``t``; ``always`` marks the
+          per-stream constructor that emits its wrapper even on empty
+          input (never empty).
+        * ``{"kind": "aggregate"}`` — emits a text value even for empty
+          input (count's ``"0"``): never empty.
+        * ``{"kind": "join", "keep": i, "requires": j}`` — output is a
+          sub-language of input ``i``, and provably empty when input
+          ``j`` is empty (the backward-axis join).
+        * ``{"kind": "empty"}`` — emits no content at all (Drop,
+          StructuralRelay).
+        * ``{"kind": "opaque"}`` — unknown transfer: output is TOP.
+          The safe default for stages the checker has not been taught.
+        """
+        return {"kind": "opaque"}
+
     # -- the state modifier F ----------------------------------------------
 
     def process(self, e: Event) -> List[Event]:
@@ -301,6 +341,9 @@ class Identity(StateTransformer):
     def process(self, e: Event) -> List[Event]:
         return [e]
 
+    def type_facts(self) -> dict:
+        return {"kind": "copy"}
+
 
 class Relabel(StateTransformer):
     """Relabel a stream to a new stream number."""
@@ -308,12 +351,46 @@ class Relabel(StateTransformer):
     def process(self, e: Event) -> List[Event]:
         return [e.relabel(self.output_id)]
 
+    def type_facts(self) -> dict:
+        return {"kind": "copy"}
+
 
 class Drop(StateTransformer):
     """Consume a stream, emitting nothing (used to discard residue)."""
 
     def process(self, e: Event) -> List[Event]:
         return PASS_THROUGH
+
+    def type_facts(self) -> dict:
+        return {"kind": "empty"}
+
+
+class StructuralRelay(StateTransformer):
+    """Relay only structural events (sS/eS/sT/eT); drop all content.
+
+    The residue of static dead-stage elimination
+    (:func:`repro.analysis.types.optimize_plan`): a stage whose output
+    type is provably empty forwards structural events unchanged and —
+    by the emptiness proof — never any content, so this constant-state
+    relay is byte-equivalent to it (and to any chain of such stages).
+    """
+
+    inert = True
+
+    def process(self, e: Event) -> List[Event]:
+        if e.kind in (SS, ES, ST, ET):
+            return [e.relabel(self.output_id)]
+        return PASS_THROUGH
+
+    def static_facts(self) -> dict:
+        facts = super().static_facts()
+        facts.update(notes="statically-empty segment (dead stages "
+                           "eliminated by the type checker)")
+        facts["projection"] = {"kind": "plumbing"}
+        return facts
+
+    def type_facts(self) -> dict:
+        return {"kind": "empty"}
 
 
 def run_sequence(transformer: StateTransformer,

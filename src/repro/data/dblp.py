@@ -85,23 +85,45 @@ class DBLPGenerator:
         return "".join(parts)
 
 
+#: The generator's document class as a DTD (also checked in under
+#: ``examples/dblp.dtd``).  Records repeat freely under ``dblp`` and
+#: ``author`` repeats inside a record; ``title``/``booktitle``/
+#: ``journal``/``year`` are fixed, single-occurrence positions.
+DTD = """\
+<!ELEMENT dblp (inproceedings | article)*>
+<!ELEMENT inproceedings (author+, title, booktitle, year)>
+<!ELEMENT article (author+, title, journal, year)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>
+<!ELEMENT journal (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+"""
+
+_SCHEMA = None
+
+
+def document_schema():
+    """The generator's document class, parsed from :data:`DTD`.
+
+    Returns a closed :class:`repro.analysis.schema.ElementSchema` (root
+    ``dblp``) for the projection and type analyses.
+    """
+    global _SCHEMA
+    if _SCHEMA is None:
+        from ..analysis.schema import ElementSchema
+        _SCHEMA = ElementSchema.from_dtd(DTD)
+    return _SCHEMA
+
+
 def element_children():
     """The generator's element containment map (tag -> child tags).
 
-    Consumed by the projection analyzer's schema refinement
-    (:func:`repro.analysis.projection.known_schema`); leaf elements map
-    to an empty tuple (provably no element children).
+    Historically a hand-coded map; now derived from :data:`DTD` (the
+    fixture test pins the parse against the original expectations).
     """
-    return {
-        "dblp": ("inproceedings", "article"),
-        "inproceedings": ("author", "title", "booktitle", "year"),
-        "article": ("author", "title", "journal", "year"),
-        "author": (),
-        "title": (),
-        "booktitle": (),
-        "journal": (),
-        "year": (),
-    }
+    return {tag: tuple(sorted(kids))
+            for tag, kids in document_schema().children_map().items()}
 
 
 def generate(scale: float = 0.1, seed: int = 7) -> str:

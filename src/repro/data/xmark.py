@@ -115,32 +115,58 @@ class XMarkGenerator:
         return "".join(parts)
 
 
+#: The generator's document class as a DTD (also checked in under
+#: ``examples/xmark.dtd``; a fixture test holds the two identical).
+#: ``description`` is optional and every region holds ``item*`` — the
+#: starred positions are the schema's mutable regions (the only places
+#: a schema-valid update stream may insert siblings).
+DTD = """\
+<!ELEMENT site (regions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description?)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (parlist)>
+<!ELEMENT parlist (listitem*)>
+<!ELEMENT listitem (text | parlist)*>
+<!ELEMENT text (#PCDATA)>
+"""
+
+_SCHEMA = None
+
+
+def document_schema():
+    """The generator's document class, parsed from :data:`DTD`.
+
+    Returns a closed :class:`repro.analysis.schema.ElementSchema` (root
+    ``site``) carrying child reachability, content-model cardinality,
+    and #PCDATA facts for the projection and type analyses.
+    """
+    global _SCHEMA
+    if _SCHEMA is None:
+        from ..analysis.schema import ElementSchema
+        _SCHEMA = ElementSchema.from_dtd(DTD)
+    return _SCHEMA
+
+
 def element_children():
     """The generator's element containment map (tag -> child tags).
 
-    This is the document "DTD" the projection analyzer's schema
-    refinement consumes (:func:`repro.analysis.projection.known_schema`):
-    any element absent from the map is treated as able to contain
-    anything, so the map only needs to cover what the generator emits.
-    Leaf elements map to an empty tuple (provably no element children).
+    Historically a hand-coded map; now derived from :data:`DTD` so the
+    projection analyzer and the type checker consume one source of
+    truth (the fixture test in ``tests/test_types.py`` pins the parse
+    against the original hand-coded expectations).
     """
-    region_map = {region: ("item",) for region in REGIONS}
-    schema = {
-        "site": ("regions",),
-        "regions": REGIONS,
-        "item": ("location", "quantity", "name", "payment",
-                 "description"),
-        "location": (),
-        "quantity": (),
-        "name": (),
-        "payment": (),
-        "description": ("parlist",),
-        "parlist": ("listitem",),
-        "listitem": ("text", "parlist"),
-        "text": (),
-    }
-    schema.update(region_map)
-    return schema
+    return {tag: tuple(sorted(kids))
+            for tag, kids in document_schema().children_map().items()}
 
 
 def generate(scale: float = 0.1, seed: int = 42) -> str:

@@ -81,6 +81,10 @@ class CountItems(StateTransformer):
         return _aggregate_facts(self, "constant",
                                 "count register adjusted by deltas")
 
+    def type_facts(self) -> dict:
+        # Emits "0" at stream start even for empty input: never empty.
+        return {"kind": "aggregate"}
+
     def get_state(self) -> State:
         return (self.count, self.depth)
 
@@ -161,6 +165,9 @@ class NumericAggregate(StateTransformer):
         return _aggregate_facts(self, "buffering",
                                 "(total, n) register plus the current "
                                 "item's text buffer")
+
+    def type_facts(self) -> dict:
+        return {"kind": "aggregate"}
 
     def get_state(self) -> State:
         return (self.total, self.n, self.depth, self.parts)
@@ -266,6 +273,9 @@ class MinMaxAggregate(StateTransformer):
         return _aggregate_facts(self, "unbounded",
                                 "value -> multiplicity register, "
                                 "O(distinct values)")
+
+    def type_facts(self) -> dict:
+        return {"kind": "aggregate"}
 
     def get_state(self) -> State:
         return (self.counts, self.depth, self.parts)

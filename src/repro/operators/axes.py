@@ -41,6 +41,9 @@ class ChildStep(StateTransformer):
                                "tag": self.tag}
         return facts
 
+    def type_facts(self) -> dict:
+        return {"kind": "step", "axis": "child", "tag": self.tag}
+
     def get_state(self) -> State:
         return (self.depth, self.passing)
 
@@ -90,6 +93,9 @@ class TextStep(StateTransformer):
         facts["projection"] = {"kind": "content"}
         return facts
 
+    def type_facts(self) -> dict:
+        return {"kind": "text"}
+
     def get_state(self) -> State:
         return (self.depth,)
 
@@ -124,6 +130,9 @@ class SelfStep(StateTransformer):
         facts["projection"] = {"kind": "plumbing"}
         return facts
 
+    def type_facts(self) -> dict:
+        return {"kind": "copy"}
+
     def process(self, e: Event) -> List[Event]:
         return [e.relabel(self.output_id)]
 
@@ -151,6 +160,9 @@ class StringValue(StateTransformer):
                      notes="accumulates the current item's text")
         facts["projection"] = {"kind": "content"}
         return facts
+
+    def type_facts(self) -> dict:
+        return {"kind": "text"}
 
     def get_state(self) -> State:
         return (self.depth, self.parts)

@@ -93,6 +93,11 @@ class AncestorJoin(StateTransformer):
         facts["projection"] = {"kind": "opaque", "note": "backward axis"}
         return facts
 
+    def type_facts(self) -> dict:
+        # Output elements come from the candidate (clone) side; nothing
+        # can match when the incoming result side is provably empty.
+        return {"kind": "join", "keep": 0, "requires": 1}
+
     def get_state(self) -> State:
         return (self.depth, self.nid, self.outcome)
 

@@ -42,5 +42,8 @@ class Tee(StateTransformer):
         facts["projection"] = {"kind": "plumbing"}
         return facts
 
+    def type_facts(self) -> dict:
+        return {"kind": "copy"}
+
     def process(self, e: Event) -> List[Event]:
         return [e, e.relabel(self.copy_id)]

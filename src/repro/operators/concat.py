@@ -55,6 +55,9 @@ class Concat(StateTransformer):
         facts["projection"] = {"kind": "plumbing"}
         return facts
 
+    def type_facts(self) -> dict:
+        return {"kind": "union"}
+
     def process(self, e: Event) -> List[Event]:
         kind = e.kind
         if kind == ST:

@@ -136,6 +136,11 @@ class StreamConstruct(StateTransformer):
         super().__init__(ctx, (input_id,), output_id)
         self.tag = tag
 
+    def type_facts(self) -> dict:
+        # Emits its wrapper element at stream start regardless of input:
+        # the output is never empty.
+        return {"kind": "construct", "tag": self.tag, "always": True}
+
     def process(self, e: Event) -> List[Event]:
         kind = e.kind
         out = self.output_id
@@ -172,6 +177,10 @@ class TupleConstruct(TupleRegionMixin, StateTransformer):
             "source regions (sealed when they all freeze)")
         facts["projection"] = {"kind": "plumbing"}
         return facts
+
+    def type_facts(self) -> dict:
+        # One wrapper element per tuple: no tuples, no output.
+        return {"kind": "construct", "tag": self.tag, "always": False}
 
     def get_state(self) -> State:
         return self._tuple_region_state()

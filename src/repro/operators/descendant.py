@@ -78,6 +78,9 @@ class DescendantStep(StateTransformer):
                                "tag": self.tag}
         return facts
 
+    def type_facts(self) -> dict:
+        return {"kind": "step", "axis": "descendant", "tag": self.tag}
+
     def get_state(self) -> State:
         return (self.depth, self.levels)
 

@@ -94,6 +94,10 @@ class ForTuples(StateTransformer):
         facts["projection"] = {"kind": "plumbing"}
         return facts
 
+    def type_facts(self) -> dict:
+        # Re-tuples the forest: item labels pass through unchanged.
+        return {"kind": "copy"}
+
     def get_state(self) -> State:
         return (self.depth, self.wid)
 
@@ -265,6 +269,9 @@ class TupleStrip(StateTransformer):
 
     def __init__(self, ctx: Context, input_id: int, output_id: int) -> None:
         super().__init__(ctx, (input_id,), output_id)
+
+    def type_facts(self) -> dict:
+        return {"kind": "copy"}
 
     def process(self, e: Event) -> List[Event]:
         if e.kind in (ST, ET):

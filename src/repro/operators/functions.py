@@ -67,6 +67,9 @@ class CompareLiteral(StateTransformer):
         self.literal = literal
         self.depth = 0
 
+    def type_facts(self) -> dict:
+        return {"kind": "flag"}
+
     def get_state(self) -> State:
         return (self.depth,)
 
@@ -100,6 +103,9 @@ class ContainsLiteral(StateTransformer):
         super().__init__(ctx, (input_id,), output_id)
         self.literal = literal
         self.depth = 0
+
+    def type_facts(self) -> dict:
+        return {"kind": "flag"}
 
     def get_state(self) -> State:
         return (self.depth,)
@@ -135,6 +141,9 @@ class ExistsFlag(StateTransformer):
     def __init__(self, ctx: Context, input_id: int, output_id: int) -> None:
         super().__init__(ctx, (input_id,), output_id)
         self.depth = 0
+
+    def type_facts(self) -> dict:
+        return {"kind": "flag"}
 
     def get_state(self) -> State:
         return (self.depth,)
@@ -188,6 +197,10 @@ class LiteralText(TupleRegionMixin, StateTransformer):
         # (a constant-return FLWOR still emits one literal per tuple).
         facts["projection"] = {"kind": "content"}
         return facts
+
+    def type_facts(self) -> dict:
+        # One literal cD per tuple: no tuples, no output.
+        return {"kind": "literal"}
 
     def get_state(self) -> State:
         return self._tuple_region_state()

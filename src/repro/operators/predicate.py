@@ -339,6 +339,11 @@ class Predicate(StateTransformer):
         facts["projection"] = {"kind": "content"}
         return facts
 
+    def type_facts(self) -> dict:
+        # The checker walks self.conditions to type the inline chains:
+        # a conjunct whose chain is provably empty can never flag true.
+        return {"kind": "filter", "combine": self.combine}
+
     # -- state plumbing --------------------------------------------------------
 
     def get_state(self) -> State:

@@ -100,6 +100,12 @@ class SortTuples(StateTransformer):
         facts["projection"] = {"kind": "plumbing"}
         return facts
 
+    def type_facts(self) -> dict:
+        # Reorders the item stream; the key stream is consumed.  The
+        # checker unions all inputs for "copy" — including the key's
+        # text type is an over-approximation, which is sound.
+        return {"kind": "copy"}
+
     def get_state(self) -> State:
         return (self.keys, self.seq, self.in_tuple, self.found_key,
                 self.nid, self.cur_anchor, self.queue)

@@ -252,8 +252,17 @@ class MultiQueryRun:
             fan-out dispatch down to the events its own query can
             reach.  Results are byte-identical by construction.
         schema: optional DTD refinement for the projection matchers
-            (an :class:`~repro.analysis.projection.ElementSchema` or
-            the name ``"xmark"``/``"dblp"``).
+            and the type checker (an
+            :class:`~repro.analysis.schema.ElementSchema`, the name
+            ``"xmark"``/``"dblp"``, or a DTD file path).
+        typecheck: run the static type checker
+            (:mod:`repro.analysis.types`) over every unique plan and
+            *short-circuit* the statically-empty ones: their answer is
+            provably the empty sequence for any document of the
+            schema, so they are never fed a single event.  They report
+            status ``"empty"`` and the empty text.  Queries over
+            mutable sources are skipped (inference is defined over
+            documents) and run normally.
         fuse: stage-fusion codegen for every pipeline (prefix, member,
             and independent); ``None`` reads ``REPRO_FUSE``.
         share_prefixes: factor common leading axis/predicate chains
@@ -275,6 +284,7 @@ class MultiQueryRun:
                  fault_plan=None,
                  projection: bool = False,
                  schema=None,
+                 typecheck: bool = False,
                  fuse: Optional[bool] = None,
                  share_prefixes: Optional[bool] = None) -> None:
         from ..core.multiplex import EventMultiplexer
@@ -307,6 +317,24 @@ class MultiQueryRun:
                 unique.append(e)
             self._slots.append(slot)
         self._slot_engines = unique
+        #: Per-slot :class:`~repro.analysis.types.TypeReport` when
+        #: ``typecheck`` is on (mutable-source slots are absent).
+        self.type_reports = {}
+        empty_slots = set()
+        if typecheck:
+            from ..analysis.types import TypeCheckError, infer_types
+            for slot, e in enumerate(unique):
+                try:
+                    report = infer_types(e.compile(optimize=False),
+                                         schema=(e.schema if e.schema
+                                                 is not None else schema))
+                except TypeCheckError:
+                    continue  # mutable source: run the query normally
+                self.type_reports[slot] = report
+                if report.statically_empty:
+                    empty_slots.add(slot)
+        #: Slots proven statically empty and detached from the fan-out.
+        self.static_empty_slots = frozenset(empty_slots)
         #: Shared prefix groups (empty when sharing is off or nothing
         #: shares); member runs live in ``self.runs`` like any other.
         self.groups = []
@@ -325,8 +353,11 @@ class MultiQueryRun:
                                 fusion_assume_updates=True)
 
             eff_fuse = _fuse_default() if fuse is None else bool(fuse)
+            # Statically-empty slots never receive events, so sharing
+            # a prefix with them buys nothing — keep them solo.
             self.groups = build_shared_groups(
-                list(enumerate(unique)), make_run, fuse=eff_fuse)
+                [(slot, e) for slot, e in enumerate(unique)
+                 if slot not in empty_slots], make_run, fuse=eff_fuse)
             for g in self.groups:
                 for slot, run in g.members:
                     grouped_runs[slot] = run
@@ -334,7 +365,15 @@ class MultiQueryRun:
         for slot, e in enumerate(unique):
             run = grouped_runs.get(slot)
             if run is None:
-                run = QueryRun(e.compile(),
+                if slot in empty_slots:
+                    # The checker proved the answer empty for every
+                    # document: compile the one-relay constant plan so
+                    # the run's footprint matches its (zero) work.
+                    from ..analysis.types import constant_empty_plan
+                    plan = constant_empty_plan(e.compile(optimize=False))
+                else:
+                    plan = e.compile()
+                run = QueryRun(plan,
                                ignore_updates=e.ignore_updates,
                                always_active=always_active,
                                sanitize=sanitize,
@@ -352,6 +391,8 @@ class MultiQueryRun:
                                     quarantine=quarantine)
         if self.groups:
             self.mux.set_groups(self.groups)
+        if self.static_empty_slots:
+            self.mux.set_static_empty(self.static_empty_slots)
         #: Union projection across unique pipelines (None when off).
         self.projection = None
         #: Tokenizer-side matcher for run_xml (None when nothing prunes).
@@ -371,8 +412,15 @@ class MultiQueryRun:
             grouped = {s for g in self.groups for s in g.member_indices}
             projections = []
             for slot, run in enumerate(self.runs):
-                plan = (self._slot_engines[slot].compile()
-                        if slot in grouped else run.plan)
+                # Static-empty slots hold the one-relay constant plan,
+                # whose projection is universal — derive from the
+                # query's own (unoptimized) plan so the union stays
+                # prunable for the siblings.
+                if slot in grouped or slot in self.static_empty_slots:
+                    plan = self._slot_engines[slot].compile(
+                        optimize=False)
+                else:
+                    plan = run.plan
                 projections.append(derive_projection(plan))
             self.projection = union_projection(projections)
             union_matcher = ProjectionMatcher(self.projection,
@@ -380,7 +428,7 @@ class MultiQueryRun:
             if union_matcher.prunable and not self.needs_oids:
                 self.projection_matcher = union_matcher
             for i, (run, proj) in enumerate(zip(self.runs, projections)):
-                if i in grouped:
+                if i in grouped or i in self.static_empty_slots:
                     continue
                 matcher = ProjectionMatcher(proj, schema=schema)
                 if not matcher.prunable:
@@ -499,9 +547,16 @@ class MultiQueryRun:
                 for s in self._slots]
 
     def statuses(self) -> list:
-        """Per-query health, submission order: ``"ok"``/``"quarantined"``."""
+        """Per-query health, submission order.
+
+        ``"ok"``, ``"quarantined"``, or ``"empty"`` — the last for
+        queries the type checker proved can never produce output
+        (their empty text is the exact answer, not a failure).
+        """
         quarantined = self.mux.quarantined
-        return ["quarantined" if s in quarantined else "ok"
+        empty = self.static_empty_slots
+        return ["empty" if s in empty
+                else "quarantined" if s in quarantined else "ok"
                 for s in self._slots]
 
     def error_reports(self) -> dict:
@@ -522,11 +577,13 @@ class MultiQueryRun:
         stats = self.mux.stats()
         quarantined = self.mux.quarantined
         for s, entry in enumerate(stats["per_pipeline"]):
-            entry["status"] = ("quarantined" if s in quarantined
+            entry["status"] = ("empty" if s in self.static_empty_slots
+                               else "quarantined" if s in quarantined
                                else "ok")
         stats["queries"] = len(self._slots)
         stats["deduped"] = len(self._slots) - len(self.runs)
         stats["quarantined"] = len(quarantined)
+        stats["static_empty"] = len(self.static_empty_slots)
         stats["per_query"] = [stats["per_pipeline"][s]
                               for s in self._slots]
         if self.groups:
@@ -596,10 +653,18 @@ class XFlux:
         mutable_source: declare that the input stream embeds updates;
             predicate/join decisions then stay revocable (more state,
             Section V pruning off).  Leave False for plain documents.
+        schema: declare the document schema and let the static type
+            checker (:mod:`repro.analysis.types`) optimize every
+            compiled plan: provably-dead stages become structural
+            relays and statically-empty plans collapse to a
+            constant-empty pipeline, byte-identically.  Accepts an
+            :class:`~repro.analysis.schema.ElementSchema`, the names
+            ``"xmark"``/``"dblp"``, or a DTD file path.  Ignored for
+            mutable sources (inference is defined over documents).
     """
 
     def __init__(self, query, mutable_source: bool = False,
-                 ignore_updates: bool = False) -> None:
+                 ignore_updates: bool = False, schema=None) -> None:
         # Parsing goes through the module-level AST cache: constructing
         # many engines for the same standing query parses once (the
         # compiler never mutates the AST, so sharing is safe).
@@ -611,13 +676,29 @@ class XFlux:
         #: as fixed content; updates targeting them become void and no
         #: per-region state is ever retained.
         self.ignore_updates = ignore_updates
+        #: Declared document schema driving compile-time type-directed
+        #: plan optimization (None: compile plans as written).
+        self.schema = schema
 
-    def compile(self) -> Plan:
-        """Compile a fresh plan (stream numbers are single-use)."""
+    def compile(self, optimize: Optional[bool] = None) -> Plan:
+        """Compile a fresh plan (stream numbers are single-use).
+
+        With a declared ``schema`` the plan is run through the static
+        type checker and optimized (dead stages relayed, statically
+        empty plans collapsed); ``optimize=False`` is the escape hatch
+        returning the plan exactly as compiled — the differential
+        tests compare the two paths byte for byte.
+        """
         compiler = Compiler(ctx=Context(), source_id=0,
                             mutable_source=self.mutable_source
                             and not self.ignore_updates)
-        return compiler.compile(self.ast)
+        plan = compiler.compile(self.ast)
+        if optimize is False:
+            return plan
+        if self.schema is not None or optimize:
+            from ..analysis.types import optimize_plan
+            plan = optimize_plan(plan, schema=self.schema)
+        return plan
 
     def start(self, on_change: Optional[Callable[[Event, Display],
                                                  None]] = None,
