@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Bench-regression gate: fresh run vs the committed baseline.
+
+Runs the paper-query benchmark (same harness as ``repro bench``) and
+compares per-query throughput against a committed ``BENCH_queries.json``
+— the one whose ``meta.git_commit`` stamps the tree the numbers came
+from.  Exits non-zero when the geomean slowdown exceeds the threshold,
+so CI can surface drift; the CI step runs warn-only (throughput on
+shared runners is noisy, and the committed baseline may have been
+recorded on different hardware or at a different scale — the gate is a
+tripwire, not a verdict).
+
+    python benchmarks/compare.py --baseline BENCH_queries.json \
+        --scale 0.1 --repeats 3 --threshold 1.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(
+    __file__)), "..", "src"))
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="benchmarks/compare.py",
+        description="Compare a fresh benchmark run against a committed "
+                    "BENCH_queries.json and fail past a slowdown "
+                    "threshold.")
+    ap.add_argument("--baseline", default="BENCH_queries.json",
+                    help="committed baseline file (default: "
+                         "BENCH_queries.json in the cwd)")
+    ap.add_argument("--scale", type=float, default=0.1,
+                    help="dataset scale for the fresh run (default 0.1; "
+                         "a scale differing from the baseline's adds "
+                         "noise, which the report flags)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repetitions, best kept (default 3)")
+    ap.add_argument("--threshold", type=float, default=1.30,
+                    help="fail when geomean slowdown exceeds this "
+                         "ratio (default 1.30)")
+    ap.add_argument("--queries",
+                    help="comma-separated subset, e.g. Q1,Q2 "
+                         "(default: every query in the baseline)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the comparison as JSON")
+    return ap
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> dict:
+    """Per-query and geomean slowdown of ``fresh`` vs ``baseline``.
+
+    Slowdown is ``baseline_events_per_s / fresh_events_per_s`` — above
+    1.0 means the fresh tree is slower.  Queries present in only one
+    side are reported but not scored.
+    """
+    base_rows = {r["query"]: r for r in baseline.get("queries", [])}
+    fresh_rows = {r["query"]: r for r in fresh.get("queries", [])}
+    shared = [q for q in base_rows if q in fresh_rows]
+    ratios = {}
+    for q in shared:
+        b = base_rows[q].get("events_per_s")
+        f = fresh_rows[q].get("events_per_s")
+        if b and f:
+            ratios[q] = round(b / f, 4)
+    geomean = (round(math.exp(sum(math.log(r) for r in ratios.values())
+                              / len(ratios)), 4)
+               if ratios else None)
+    return {
+        "baseline_commit": baseline.get("meta", {}).get("git_commit"),
+        "baseline_dirty": baseline.get("meta", {}).get("git_dirty"),
+        "baseline_scale": baseline.get("meta", {}).get("xmark_scale"),
+        "fresh_scale": fresh.get("meta", {}).get("xmark_scale"),
+        "scale_mismatch": (baseline.get("meta", {}).get("xmark_scale")
+                          != fresh.get("meta", {}).get("xmark_scale")),
+        "slowdown_per_query": ratios,
+        "geomean_slowdown": geomean,
+        "threshold": threshold,
+        "regression": (geomean is not None and geomean > threshold),
+        "missing_in_fresh": sorted(set(base_rows) - set(fresh_rows)),
+        "missing_in_baseline": sorted(set(fresh_rows) - set(base_rows)),
+    }
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("error: cannot read baseline {}: {}".format(
+            args.baseline, exc), file=sys.stderr)
+        return 2
+
+    from repro.bench.harness import Workloads
+    from repro.bench.record import bench_queries
+    queries = (args.queries.split(",") if args.queries
+               else [r["query"] for r in baseline.get("queries", [])])
+    workloads = Workloads(xmark_scale=args.scale, dblp_scale=args.scale)
+    fresh = bench_queries(workloads, repeats=args.repeats,
+                          queries=queries)
+
+    report = compare(baseline, fresh, args.threshold)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print("baseline: {} (commit {}{})".format(
+            args.baseline, report["baseline_commit"],
+            ", dirty" if report["baseline_dirty"] else ""))
+        if report["scale_mismatch"]:
+            print("note: scale mismatch (baseline {}, fresh {}) — "
+                  "ratios are indicative only".format(
+                      report["baseline_scale"], report["fresh_scale"]))
+        for q, r in sorted(report["slowdown_per_query"].items()):
+            print("  {:<4} slowdown {:.4f}{}".format(
+                q, r, "  <-- slow" if r > args.threshold else ""))
+        print("geomean slowdown: {} (threshold {})".format(
+            report["geomean_slowdown"], args.threshold))
+    if report["regression"]:
+        print("REGRESSION: geomean slowdown {} exceeds threshold {}"
+              .format(report["geomean_slowdown"], args.threshold),
+              file=sys.stderr)
+        return 1
+    print("ok: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,31 @@ PROJECTION_JSON = "BENCH_projection.json"
 FUSION_JSON = "BENCH_fusion.json"
 
 
+def _git_stamp() -> Dict:
+    """The repo commit the numbers were taken at, plus a dirty flag.
+
+    A benchmark JSON divorced from its commit is unanchored — the
+    regression gate (benchmarks/compare.py) and any bisection need to
+    know what tree produced the baseline.  Best effort: outside a git
+    checkout (or without a git binary) both fields are ``None``.
+    """
+    import subprocess
+    repo_dir = os.path.dirname(os.path.abspath(__file__))
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_dir,
+            capture_output=True, text=True, timeout=10)
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=repo_dir,
+            capture_output=True, text=True, timeout=10)
+        if sha.returncode != 0 or status.returncode != 0:
+            return {"git_commit": None, "git_dirty": None}
+        return {"git_commit": sha.stdout.strip(),
+                "git_dirty": bool(status.stdout.strip())}
+    except (OSError, subprocess.SubprocessError):
+        return {"git_commit": None, "git_dirty": None}
+
+
 def _meta(workloads: Workloads, repeats: int) -> Dict:
     # Host facts ride in every record: numbers are not comparable
     # across machines, and the compile-layer env switches silently
@@ -49,6 +74,7 @@ def _meta(workloads: Workloads, repeats: int) -> Dict:
     from ..xquery.engine import (_fuse_default, _metrics_default,
                                  _sanitize_default, _share_default)
     return {
+        **_git_stamp(),
         "xmark_scale": workloads.xmark_scale,
         "dblp_scale": workloads.dblp_scale,
         "repeats": repeats,

@@ -51,6 +51,14 @@ input is given, so ``python -m repro trace Q3`` works standalone):
 
     python -m repro stats Q1                 # per-stage metrics JSON
     python -m repro trace Q3 --input doc.xml # update-provenance JSON
+    python -m repro trace Q3 --format=chrome # Chrome/Perfetto trace
+
+an export subcommand that emits the recorded telemetry in standard
+interchange formats (Chrome trace-event JSON for chrome://tracing /
+ui.perfetto.dev, OpenMetrics text for Prometheus tooling):
+
+    python -m repro export trace Q3 --out q3_trace.json
+    python -m repro export metrics Q1 --out q1.prom
 
 and a chaos subcommand that runs a sharded multi-query workload under
 a scripted fault plan and proves the recovery machinery by byte-level
@@ -110,6 +118,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                     help="compile the pipeline into fused stage "
                          "segments (byte-identical by construction; "
                          "also: REPRO_FUSE=1)")
+    ap.add_argument("--flight", action="store_true",
+                    help="keep a bounded flight-recorder ring of recent "
+                         "events for post-mortem bundles (also: "
+                         "REPRO_FLIGHT=1)")
     return ap
 
 
@@ -362,16 +374,9 @@ def analyze_main(argv, out, err) -> int:
     return 0
 
 
-def build_telemetry_arg_parser(prog: str,
-                               tracing: bool) -> argparse.ArgumentParser:
-    what = ("update-provenance hops" if tracing
-            else "per-stage pipeline metrics")
-    ap = argparse.ArgumentParser(
-        prog="repro {}".format(prog),
-        description="Run a query with telemetry attached and print {} "
-                    "as JSON.  Paper query names Q1..Q9 synthesize "
-                    "their benchmark dataset when --input is omitted."
-                    .format(what))
+def _add_telemetry_run_args(ap: argparse.ArgumentParser) -> None:
+    """The options shared by ``stats``/``trace``/``export``: what to
+    run and over which input."""
     ap.add_argument("query",
                     help="query text, or a paper query name Q1..Q9")
     ap.add_argument("--input",
@@ -395,33 +400,105 @@ def build_telemetry_arg_parser(prog: str,
     ap.add_argument("--schema",
                     help="schema refinement for --projection: 'xmark', "
                          "'dblp', or a DTD file path")
-    ap.add_argument("--out", help="write the JSON here instead of stdout")
+    ap.add_argument("--out", help="write the output here instead of "
+                                  "stdout")
+
+
+def build_telemetry_arg_parser(prog: str,
+                               tracing: bool) -> argparse.ArgumentParser:
+    what = ("update-provenance hops" if tracing
+            else "per-stage pipeline metrics")
+    ap = argparse.ArgumentParser(
+        prog="repro {}".format(prog),
+        description="Run a query with telemetry attached and print {} "
+                    "as JSON.  Paper query names Q1..Q9 synthesize "
+                    "their benchmark dataset when --input is omitted."
+                    .format(what))
+    _add_telemetry_run_args(ap)
     ap.add_argument("--indent", type=int, default=2,
                     help="JSON indentation (default 2)")
+    if tracing:
+        ap.add_argument("--format", choices=("json", "chrome"),
+                        default="json",
+                        help="output format: 'json' (native provenance "
+                             "payload) or 'chrome' (Chrome trace-event /"
+                             " Perfetto JSON; load in chrome://tracing "
+                             "or ui.perfetto.dev)")
     return ap
 
 
-def telemetry_main(argv, out, err, tracing: bool) -> int:
-    """Shared driver of the ``stats`` and ``trace`` subcommands."""
+def build_export_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro export",
+        description="Run a query with telemetry attached and export "
+                    "the recorded state in a standard format: 'trace' "
+                    "emits Chrome trace-event / Perfetto JSON (one "
+                    "track per stage, translations as flow arrows, "
+                    "region lineage as async spans); 'metrics' emits "
+                    "OpenMetrics / Prometheus text exposition, latency "
+                    "histograms included.  Paper query names Q1..Q9 "
+                    "synthesize their benchmark dataset when --input "
+                    "is omitted.")
+    ap.add_argument("what", choices=("trace", "metrics"),
+                    help="which artifact to export")
+    _add_telemetry_run_args(ap)
+    ap.add_argument("--indent", type=int, default=2,
+                    help="JSON indentation for trace output (default 2)")
+    return ap
+
+
+def export_main(argv, out, err) -> int:
+    """``python -m repro export``: standard-format telemetry export."""
     import json
+    args = build_export_arg_parser().parse_args(list(argv))
+    tracing = args.what == "trace"
+    code, run, _ = _run_with_telemetry(args, err, tracing)
+    if run is None:
+        return code
+    metrics = run.metrics()
+    if tracing:
+        from .obs.export import stage_labels_from_metrics, \
+            trace_to_chrome
+        chrome = trace_to_chrome(
+            metrics.pop("trace"),
+            stage_labels=stage_labels_from_metrics(metrics))
+        rendered = json.dumps(chrome, indent=args.indent)
+    else:
+        from .obs.export import metrics_to_openmetrics
+        rendered = metrics_to_openmetrics(metrics).rstrip("\n")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(args.out, file=out)
+    else:
+        print(rendered, file=out)
+    return 0
+
+
+def _run_with_telemetry(args, err, tracing: bool):
+    """Compile + run ``args.query`` with a recorder attached.
+
+    Shared by the ``stats``/``trace``/``export`` subcommands: resolves
+    paper query names, synthesizes the benchmark dataset when no input
+    is given, applies ``--projection``, and runs to completion.
+    Returns ``(exit_code, run, query_text)`` — ``run`` is ``None`` on
+    failure.
+    """
     from .bench.harness import PAPER_QUERIES, QUERY_DATASET
-    prog = "trace" if tracing else "stats"
-    args = build_telemetry_arg_parser(prog, tracing).parse_args(
-        list(argv))
     query_text = _resolve_query_name(args.query, err)
     if query_text is None:
-        return 2
+        return 2, None, None
 
     try:
         engine = XFlux(query_text, mutable_source=args.mutable_source)
         plan = engine.compile()
     except Exception as exc:
         print("error: {}".format(exc), file=err)
-        return 2
+        return 2, None, None
 
     if args.input is not None:
         text = _read_text(args.input)
-        events = _event_source(text, args.events, plan.needs_oids)
+        events_mode = args.events
     elif args.query in PAPER_QUERIES:
         # Standalone mode: synthesize the query's benchmark dataset.
         if QUERY_DATASET[args.query] == "D":
@@ -430,10 +507,22 @@ def telemetry_main(argv, out, err, tracing: bool) -> int:
         else:
             from .data.xmark import XMarkGenerator
             text = XMarkGenerator(scale=args.scale).text()
-        events = _event_source(text, False, plan.needs_oids)
+        events_mode = False
     else:
         text = _read_text(None)  # stdin
-        events = _event_source(text, args.events, plan.needs_oids)
+        events_mode = args.events
+
+    # The tokenizer is built explicitly (not via _event_source) so the
+    # chunk-latency histogram can ride on it; it joins the recorder's
+    # histogram map after the run, like the executors do.
+    from .obs.histogram import TOKENIZER_CHUNK, LogHistogram
+    tok = None
+    if events_mode:
+        events = iter_loads(text)
+    else:
+        tok = XMLTokenizer(emit_oids=plan.needs_oids)
+        tok.chunk_histogram = LogHistogram()
+        events = tok.tokenize(text)
 
     projection_counters = None
     if args.projection and not args.events:
@@ -450,9 +539,10 @@ def telemetry_main(argv, out, err, tracing: bool) -> int:
                                         schema=schema)
         except ValueError as exc:
             print("error: {}".format(exc), file=err)
-            return 2
+            return 2, None, None
         if matcher.prunable:
             tok = XMLTokenizer(projection=matcher)
+            tok.chunk_histogram = LogHistogram()
             # Materialize so the counters are final before they are
             # snapshotted into the recorder below.
             events = list(tok.tokenize(text))
@@ -468,10 +558,30 @@ def telemetry_main(argv, out, err, tracing: bool) -> int:
         run.finish()
     except Exception as exc:
         print("error: {}".format(exc), file=err)
-        return 1
+        return 1, None, None
+    if tok is not None and run.recorder is not None:
+        run.recorder.histograms[TOKENIZER_CHUNK] = tok.chunk_histogram
+    return 0, run, query_text
+
+
+def telemetry_main(argv, out, err, tracing: bool) -> int:
+    """Shared driver of the ``stats`` and ``trace`` subcommands."""
+    import json
+    prog = "trace" if tracing else "stats"
+    args = build_telemetry_arg_parser(prog, tracing).parse_args(
+        list(argv))
+    code, run, query_text = _run_with_telemetry(args, err, tracing)
+    if run is None:
+        return code
 
     metrics = run.metrics()
-    if tracing:
+    if tracing and getattr(args, "format", "json") == "chrome":
+        from .obs.export import stage_labels_from_metrics, \
+            trace_to_chrome
+        payload = trace_to_chrome(
+            metrics.pop("trace"),
+            stage_labels=stage_labels_from_metrics(metrics))
+    elif tracing:
         payload = {
             "query": args.query,
             "query_text": query_text,
@@ -557,11 +667,15 @@ def chaos_main(argv, out, err) -> int:
         text = XMarkGenerator(scale=args.scale).text()
 
     def run(fault_plan):
+        # The faulted run flies with the flight recorder on, so any
+        # quarantine carries a post-mortem bundle; the clean reference
+        # run stays at the env defaults.
         smq = ShardedMultiQueryRun(
             queries, workers=args.workers,
             batch_events=args.batch_events,
             mutable_source=args.mutable_source,
-            fault_plan=fault_plan)
+            fault_plan=fault_plan,
+            flight=True if fault_plan is not None else None)
         smq.run_xml(text)
         return smq
 
@@ -571,6 +685,14 @@ def chaos_main(argv, out, err) -> int:
     except Exception as exc:
         print("error: {}".format(exc), file=err)
         return 1
+
+    # Post-mortem bundles: shard-recovery bundles (recorded on every
+    # recovery action) plus any quarantine bundles riding the error
+    # reports from the workers.
+    bundles = list(faulted.flight_bundles())
+    for rep in faulted.error_reports().values():
+        if isinstance(rep, dict) and rep.get("flight_bundle"):
+            bundles.append(rep["flight_bundle"])
 
     statuses = faulted.statuses()
     survivors_match = [
@@ -589,11 +711,22 @@ def chaos_main(argv, out, err) -> int:
         "fault_tolerance": faulted.fault_stats(),
         "error_reports": {names[i]: r for i, r
                           in faulted.error_reports().items()},
+        "flight_bundles": len(bundles),
+        "flight_bundle_reasons": [b.get("reason") for b in bundles],
     }
+    bundle_files = []
+    if args.report_dir:
+        from .obs.flightrec import write_bundle
+        os.makedirs(args.report_dir, exist_ok=True)
+        base = args.report_dir.rstrip("/")
+        for n, bundle in enumerate(bundles):
+            path = "{}/flightrec_{:03d}.json".format(base, n)
+            write_bundle(bundle, path)
+            bundle_files.append(path)
+        report["flight_bundle_files"] = bundle_files
     rendered = json.dumps(report, indent=args.indent)
     print(rendered, file=out)
     if args.report_dir:
-        os.makedirs(args.report_dir, exist_ok=True)
         base = args.report_dir.rstrip("/")
         with open("{}/chaos_report.json".format(base), "w") as handle:
             handle.write(rendered + "\n")
@@ -741,6 +874,8 @@ def main(argv: Optional[Iterable[str]] = None,
         return telemetry_main(argv[1:], out, err, tracing=False)
     if argv and argv[0] == "trace":
         return telemetry_main(argv[1:], out, err, tracing=True)
+    if argv and argv[0] == "export":
+        return export_main(argv[1:], out, err)
     args = build_arg_parser().parse_args(argv)
 
     if args.query_file:
@@ -784,7 +919,8 @@ def main(argv: Optional[Iterable[str]] = None,
     text = _read_text(input_path)
     run = engine.start(sanitize=True if args.sanitize else None,
                        metrics=True if args.metrics else None,
-                       fuse=True if args.fuse else None)
+                       fuse=True if args.fuse else None,
+                       flight=True if args.flight else None)
     shown: Optional[str] = None
     source = (proj_tok.tokenize(text) if proj_tok is not None
               else _event_source(text, args.events, plan.needs_oids))

@@ -131,6 +131,10 @@ class EventMultiplexer:
         #: results, stats, and quarantine accounting.
         self._groups: List = []
         self._grouped: frozenset = frozenset()
+        #: The :class:`~repro.fault.FaultPlan` in force, if any —
+        #: installed by the owning executor so quarantine bundles can
+        #: record the replayable spec and seed.
+        self.fault_plan = None
         #: Run indices proven statically empty by the type checker
         #: (:mod:`repro.analysis.types`).  Detached from the fan-out
         #: entirely: their answer is the empty sequence for *every*
@@ -184,8 +188,22 @@ class EventMultiplexer:
 
     def _quarantine(self, run_index: int, exc: BaseException) -> None:
         from ..fault import error_report
-        self.quarantined[run_index] = error_report(
+        report = error_report(
             exc, run_index=run_index, events_in=self.events_in)
+        recorder = getattr(self.runs[run_index], "recorder", None)
+        if recorder is not None and recorder.flight is not None:
+            # Post-mortem bundle: the failing pipeline's recent events,
+            # stage identities, and telemetry snapshot travel with the
+            # quarantine report (plain dicts — they cross the shard
+            # result pipe and land in the chaos CLI's artifacts).
+            from ..obs.flightrec import build_bundle
+            report["flight_bundle"] = build_bundle(
+                "quarantine", recorder=recorder,
+                error={"error_type": report["error_type"],
+                       "message": report["message"]},
+                fault_plan=self.fault_plan,
+                run_index=run_index, events_in=self.events_in)
+        self.quarantined[run_index] = report
         self._raw_pipelines = [(i, p) for i, p in self._raw_pipelines
                                if i != run_index]
         self._stripped_pipelines = [(i, p)

@@ -11,6 +11,7 @@ iterative driver the engine uses (no recursion, cheap accounting).
 
 from __future__ import annotations
 
+from time import perf_counter_ns as _perf_ns
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..events.model import FREEZE, UPDATE_STARTS, Event
@@ -391,6 +392,9 @@ class Pipeline:
         stage_ms = rec.stages
         sink_counts = rec.sink_counts
         trace = rec.trace
+        flight = rec.flight
+        hists = rec.histograms
+        hist_update = hists["update_latency"]
         tables = self._tables
         routes = self._routes
         checkers = self._checkers
@@ -398,12 +402,26 @@ class Pipeline:
         sink_process = self.sink.process
         fix_freeze = self.ctx.fix.freeze
         counting_source = start_idx == 0
+        # Latency clocks ride source batches only: on_end flushes from
+        # finish() (start_idx > 0) are not drain observations, which
+        # keeps observation counts deterministic — the sharded
+        # differential holds merged counts equal to single-process.
+        t_batch = _perf_ns() if counting_source else 0
+        t_update = 0
         stack: List[tuple] = []
         push = stack.append
         pop = stack.pop
         for e in events:
-            if counting_source and rec.count_source():
-                rec.sample_now()
+            if counting_source:
+                if flight is not None:
+                    flight.note(e)
+                if rec.count_source():
+                    rec.sample_now()
+                # End-to-end update latency: propagation is depth-first,
+                # so by the time the drain returns to the source loop
+                # every display delta of this update start has landed.
+                t_update = (_perf_ns()
+                            if e.kind in _UPDATE_START_KINDS else 0)
             idx = start_idx
             ev = e
             while True:
@@ -461,6 +479,11 @@ class Pipeline:
                 if not stack:
                     break
                 idx, ev = pop()
+            if t_update:
+                hist_update.record(_perf_ns() - t_update)
+                t_update = 0
+        if counting_source:
+            hists["drain_batch"].record(_perf_ns() - t_batch)
 
     def feed_all(self, events: Iterable[Event]) -> None:
         self.feed_batch(events)

@@ -1,0 +1,193 @@
+"""Fixed-bucket log2 latency histograms (HDR-style, exact merges.)
+
+Latency distributions are the missing half of the telemetry story: the
+counters in :mod:`repro.obs.recorder` say *how much* flowed, these
+histograms say *how long* it took — per-batch drain latency, per-update
+end-to-end update->display latency, and tokenizer chunk latency.
+
+The bucketing is the classic power-of-two scheme: a nanosecond value
+``v`` lands in bucket ``v.bit_length()`` (bucket 0 holds exactly 0, and
+bucket ``i`` holds ``[2**(i-1), 2**i - 1]``), so bucket boundaries are
+identical in every process forever — no configuration to agree on, no
+rebucketing on merge.  That makes the merge *exact*: adding two
+histograms bucket-by-bucket gives byte-identical state to having
+recorded every observation into one histogram, which is the property
+:func:`repro.obs.merge_metrics` relies on to make sharded totals equal
+single-process totals.
+
+``count``/``sum``/``min``/``max`` are tracked exactly; quantiles are
+resolved to the containing bucket's upper edge (<= 2x relative error by
+construction), clamped to the exact observed extremes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+#: Enough buckets for any int64 nanosecond value (2**63 ns ~ 292 years).
+N_BUCKETS = 64
+
+#: Histogram names a :class:`~repro.obs.recorder.MetricsRecorder`
+#: pre-binds; executors may add more (e.g. ``tokenizer_chunk``).
+DRAIN_BATCH = "drain_batch"
+UPDATE_LATENCY = "update_latency"
+TOKENIZER_CHUNK = "tokenizer_chunk"
+
+
+def bucket_index(value: int) -> int:
+    """The bucket a (non-negative) nanosecond value lands in."""
+    if value <= 0:
+        return 0
+    idx = value.bit_length()
+    return idx if idx < N_BUCKETS else N_BUCKETS - 1
+
+
+def bucket_upper(index: int) -> int:
+    """Inclusive upper edge of a bucket, in the recorded unit (ns)."""
+    return 0 if index == 0 else (1 << index) - 1
+
+
+class LogHistogram:
+    """One latency distribution with exact, order-independent merging."""
+
+    __slots__ = ("counts", "count", "total", "min_value", "max_value")
+
+    def __init__(self) -> None:
+        self.counts = [0] * N_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min_value: Optional[int] = None
+        self.max_value: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        """Add one observation (nanoseconds; negatives clamp to 0)."""
+        if value < 0:
+            value = 0
+        self.counts[bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    # -- summaries --------------------------------------------------------
+
+    def percentile(self, q: float) -> Optional[int]:
+        """The value at quantile ``q`` (0 < q <= 1), bucket resolution.
+
+        Returns the upper edge of the bucket holding the ``ceil(q *
+        count)``-th smallest observation, clamped to the exact observed
+        ``[min, max]`` range; ``None`` on an empty histogram.
+        """
+        if not 0 < q <= 1:
+            raise ValueError("quantile must be in (0, 1], got {}"
+                             .format(q))
+        if self.count == 0:
+            return None
+        rank = int(q * self.count)
+        if rank * 1.0 != q * self.count:
+            rank += 1
+        rank = max(1, min(rank, self.count))
+        seen = 0
+        for idx, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                value = bucket_upper(idx)
+                return max(self.min_value, min(value, self.max_value))
+        return self.max_value
+
+    def mean(self) -> Optional[float]:
+        return None if self.count == 0 else self.total / self.count
+
+    def summary(self) -> dict:
+        """Exact count/sum/min/max plus p50/p95/p99, all nanoseconds."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    # -- serialization / merging ------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": "log2-ns",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            # Sparse: JSON keys are strings either way, so store them
+            # that way from the start and merges never re-coerce.
+            "buckets": {str(i): n for i, n in enumerate(self.counts)
+                        if n},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LogHistogram":
+        h = cls()
+        h.merge_dict(d)
+        return h
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        counts = self.counts
+        for i, n in enumerate(other.counts):
+            if n:
+                counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self._merge_extremes(other.min_value, other.max_value)
+        return self
+
+    def merge_dict(self, d: dict) -> "LogHistogram":
+        counts = self.counts
+        for key, n in d.get("buckets", {}).items():
+            counts[int(key)] += n
+        self.count += d.get("count", 0)
+        self.total += d.get("sum", 0)
+        self._merge_extremes(d.get("min"), d.get("max"))
+        return self
+
+    def _merge_extremes(self, lo: Optional[int],
+                        hi: Optional[int]) -> None:
+        if lo is not None and (self.min_value is None
+                               or lo < self.min_value):
+            self.min_value = lo
+        if hi is not None and (self.max_value is None
+                               or hi > self.max_value):
+            self.max_value = hi
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return "LogHistogram(count={}, max={})".format(self.count,
+                                                       self.max_value)
+
+
+def merge_histogram_dicts(dicts: Iterable[Dict[str, dict]]
+                          ) -> Dict[str, dict]:
+    """Merge name-keyed histogram-dict mappings bucket-by-bucket.
+
+    Input items are ``{"drain_batch": hist_dict, ...}`` mappings (one
+    per pipeline / worker); the result carries each name's exact
+    combined state — the same dict a single histogram fed every
+    observation would serialize to.
+    """
+    merged: Dict[str, LogHistogram] = {}
+    for mapping in dicts:
+        if not mapping:
+            continue
+        for name, hist_dict in mapping.items():
+            merged.setdefault(name, LogHistogram()).merge_dict(hist_dict)
+    return {name: h.to_dict() for name, h in merged.items()}
+
+
+def summarize_histogram_dict(d: dict) -> dict:
+    """Percentile summary of a serialized histogram dict."""
+    return LogHistogram.from_dict(d).summary()

@@ -38,6 +38,7 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 from ..events.model import FREEZE, SHOW, SM
+from .histogram import DRAIN_BATCH, UPDATE_LATENCY, LogHistogram
 
 _FIRST_UPDATE = int(SM)
 _FREEZE = int(FREEZE)
@@ -162,12 +163,16 @@ class MetricsRecorder:
             run time for timeline resolution.
         trace: also record update-provenance hops (see
             :mod:`repro.obs.trace`).
+        flight: keep a bounded ring of recent source events for
+            post-mortem bundles (see :mod:`repro.obs.flightrec`).
+            ``True`` uses the default capacity; an int sets it.
     """
 
     enabled = True
 
     def __init__(self, sample_interval: int = 256,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 flight=False) -> None:
         if sample_interval < 1:
             raise ValueError("sample_interval must be >= 1, got {}"
                              .format(sample_interval))
@@ -180,6 +185,14 @@ class MetricsRecorder:
         #: executor, so counter mutations show up in to_dict() without a
         #: per-event hook here.  None when no projection is active.
         self.projection: Optional[Dict[str, int]] = None
+        #: Latency histograms the instrumented drain feeds.  Executors
+        #: may add more (the tokenizer chunk histogram lives at the
+        #: executor level, exactly like the projection counters, so
+        #: shared-tokenizer latencies are counted once).
+        self.histograms: Dict[str, LogHistogram] = {
+            DRAIN_BATCH: LogHistogram(),
+            UPDATE_LATENCY: LogHistogram(),
+        }
         self._wrappers: Sequence = ()
         self.tracing = trace
         if trace:
@@ -187,6 +200,14 @@ class MetricsRecorder:
             self.trace: Optional["TraceLog"] = TraceLog()
         else:
             self.trace = None
+        if flight:
+            from .flightrec import DEFAULT_CAPACITY, FlightRecorder
+            capacity = (DEFAULT_CAPACITY if flight is True
+                        else int(flight))
+            self.flight: Optional["FlightRecorder"] = \
+                FlightRecorder(capacity)
+        else:
+            self.flight = None
 
     def attach(self, wrappers: Sequence, stages: Sequence) -> None:
         """Bind to a pipeline's wrappers (called by ``Pipeline``)."""
@@ -232,11 +253,15 @@ class MetricsRecorder:
             "freezes_total": sum(sm.freezes for sm in self.stages),
             "activations_total": sum(sm.activations
                                      for sm in self.stages),
+            "histograms": {name: h.to_dict()
+                           for name, h in self.histograms.items()},
         }
         if self.projection is not None:
             out["projection"] = dict(self.projection)
         if self.trace is not None:
             out["trace"] = self.trace.to_dict()
+        if self.flight is not None:
+            out["flight"] = self.flight.to_dict()
         return out
 
 
@@ -246,6 +271,7 @@ class _NullRecorder:
 
     enabled = False
     tracing = False
+    flight = None
 
     def __repr__(self) -> str:
         return "NULL_RECORDER"
@@ -281,6 +307,9 @@ def merge_metrics(dicts: Sequence[dict]) -> dict:
         "pipelines": 0,
     }
     projection: Dict[str, int] = {}
+    histogram_maps: List[Dict[str, dict]] = []
+    flights: List[dict] = []
+    traces: List[dict] = []
     for d in dicts:
         if d is None:
             continue
@@ -298,6 +327,23 @@ def merge_metrics(dicts: Sequence[dict]) -> dict:
             merged[key] += d.get(key, 0)
         for key, value in d.get("projection", {}).items():
             projection[key] = projection.get(key, 0) + value
+        if d.get("histograms"):
+            histogram_maps.append(d["histograms"])
+        if d.get("flight"):
+            flights.append(d["flight"])
+        if d.get("trace"):
+            traces.append(d["trace"])
     if projection:
         merged["projection"] = projection
+    if histogram_maps:
+        # Bucket-by-bucket: the merged state equals one histogram fed
+        # every observation, so sharded totals are exact.
+        from .histogram import merge_histogram_dicts
+        merged["histograms"] = merge_histogram_dicts(histogram_maps)
+    if flights:
+        from .flightrec import merge_flight_dicts
+        merged["flight"] = merge_flight_dicts(flights)
+    if traces:
+        from .trace import merge_trace_dicts
+        merged["trace"] = merge_trace_dicts(traces)
     return merged

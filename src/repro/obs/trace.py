@@ -80,11 +80,24 @@ class Hop:
 
 
 class TraceLog:
-    """Append-only provenance log shared by one pipeline run."""
+    """Append-only provenance log shared by one pipeline run.
+
+    Hop timestamps are ``time.monotonic_ns`` readings, whose zero point
+    is per-process: comparing raw ``t_ns`` values across shard workers
+    is meaningless.  Each log therefore records a paired epoch at
+    construction — one monotonic reading and one wall-clock reading
+    taken back to back (a worker constructs its logs after fork, so
+    the epoch is per-worker by construction).  :func:`merge_trace_dicts`
+    uses the pair to rebase every log onto the shared wall clock, which
+    preserves each log's internal ordering exactly (a constant offset)
+    while making cross-process interleavings comparable.
+    """
 
     def __init__(self) -> None:
         self.hops: List[Hop] = []
         self._seq = 0
+        self.epoch_mono_ns = time.monotonic_ns()
+        self.epoch_wall_ns = time.time_ns()
 
     def record(self, region: int, kind: int, stage: int, action: str,
                to_region: Optional[int] = None) -> None:
@@ -153,4 +166,53 @@ class TraceLog:
             "links": self.links(),
             "chains": self.chains(),
             "regions": len(self.by_region()),
+            "epoch_mono_ns": self.epoch_mono_ns,
+            "epoch_wall_ns": self.epoch_wall_ns,
         }
+
+
+def merge_trace_dicts(trace_dicts) -> dict:
+    """Merge per-pipeline trace dicts onto one comparable timeline.
+
+    Each input log's hop timestamps are rebased from its private
+    monotonic clock to the shared wall clock via the paired epoch the
+    log captured at construction: ``t - epoch_mono + epoch_wall``,
+    shifted so the earliest epoch is zero.  Rebasing adds a constant
+    per log, so within any one log — and therefore within any one
+    region, which lives entirely in one pipeline — the hop order is
+    unchanged; across logs the interleaving becomes meaningful.
+
+    Hops gain a ``log`` index (region numbers are per-pipeline and may
+    collide across logs) and are returned sorted by rebased time.
+    """
+    dicts = [d for d in trace_dicts if d]
+    epochs = [d.get("epoch_wall_ns") for d in dicts]
+    known = [e for e in epochs if e is not None]
+    base_wall = min(known) if known else 0
+    hops: List[dict] = []
+    links: List[dict] = []
+    regions = 0
+    for log_idx, d in enumerate(dicts):
+        mono = d.get("epoch_mono_ns")
+        wall = d.get("epoch_wall_ns")
+        # Legacy dicts without epochs keep raw stamps (offset zero).
+        offset = (wall - base_wall - mono
+                  if mono is not None and wall is not None else 0)
+        for hop in d.get("hops", ()):
+            h = dict(hop)
+            h["t_ns"] = h.get("t_ns", 0) + offset
+            h["log"] = log_idx
+            hops.append(h)
+        for link in d.get("links", ()):
+            ln = dict(link)
+            ln["log"] = log_idx
+            links.append(ln)
+        regions += d.get("regions", 0)
+    hops.sort(key=lambda h: (h["t_ns"], h["log"], h.get("seq", 0)))
+    return {
+        "logs": len(dicts),
+        "hops": hops,
+        "links": links,
+        "regions": regions,
+        "epoch_wall_ns": base_wall,
+    }

@@ -57,7 +57,7 @@ from ..events import codec
 from ..events.model import Event
 from ..fault import FaultPlan, arm_stage_fault, error_report
 from ..xmlio.tokenizer import tokenize
-from ..xquery.engine import MultiQueryRun
+from ..xquery.engine import MultiQueryRun, _metrics_default
 
 
 class ShardError(RuntimeError):
@@ -167,7 +167,8 @@ class _ShardEngine:
                  global_indices: List[int],
                  stage_faults: List[Tuple[int, int, int]],
                  ckpt_blob: Optional[bytes] = None,
-                 start_seq: int = 0) -> None:
+                 start_seq: int = 0,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if ckpt_blob is not None:
             self.mq = MultiQueryRun.restore(ckpt_blob, queries=queries)
         else:
@@ -175,6 +176,11 @@ class _ShardEngine:
             for local_q, stage, at in stage_faults:
                 arm_stage_fault(self.mq.query_run(local_q), stage, at,
                                 query=global_indices[local_q])
+        # Shard-layer faults are armed above with global indices, so
+        # the plan is NOT passed to MultiQueryRun (it would re-arm with
+        # local ones) — it is installed only for quarantine bundles.
+        if fault_plan is not None:
+            self.mq.mux.fault_plan = fault_plan
         self.applied = start_seq
         self.duplicates_dropped = 0
 
@@ -222,7 +228,8 @@ def _worker_main(rfd: int, result_conn, queries: List[str],
                  engine_kwargs: Dict, global_indices: List[int],
                  stage_faults: List[Tuple[int, int, int]],
                  ack_interval: int, checkpoint_interval: int,
-                 ckpt_blob: Optional[bytes], start_seq: int) -> None:
+                 ckpt_blob: Optional[bytes], start_seq: int,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
     """Worker entry: decode frames from ``rfd``, run the shard, report.
 
     Protocol (worker -> parent over ``result_conn``)::
@@ -239,7 +246,8 @@ def _worker_main(rfd: int, result_conn, queries: List[str],
     try:
         engine = _ShardEngine(queries, engine_kwargs, global_indices,
                               stage_faults, ckpt_blob=ckpt_blob,
-                              start_seq=start_seq)
+                              start_seq=start_seq,
+                              fault_plan=fault_plan)
         since_ack = since_ckpt = 0
         with os.fdopen(rfd, "rb", buffering=1 << 16) as reader:
             for seq, payload in codec.iter_frames_ex(reader):
@@ -286,6 +294,22 @@ class _FaultMixin:
                            if fault_plan else None)
         self._kill_fired = False
         self._fired: set = set()
+        #: Post-mortem bundles, one per recovery action (see
+        #: :mod:`repro.obs.flightrec`).  Parent-side state — recovery
+        #: is rare, so building these is off every hot path.
+        self.flight_bundles: List[dict] = []
+
+    def _record_bundle(self, reason: str, report: dict) -> None:
+        """Capture one recovery as a flight-recorder bundle."""
+        from ..obs.flightrec import shard_bundle
+        self.flight_bundles.append(shard_bundle(
+            reason, shard=self.no, report=report,
+            restarts=self.restarts,
+            replayed_frames=self.replayed_frames,
+            last_ckpt_seq=self.last_ckpt_seq,
+            seq_target=self.seq_target,
+            quarantined=self.quarantined,
+            fault_plan=self.plan))
 
     def _frame_actions(self, seq: int) -> List[str]:
         """Unfired scripted actions for this frame; marks them fired.
@@ -360,7 +384,7 @@ class _ForkShard(_FaultMixin):
                       self.indices, self.stage_faults,
                       self.sup["ack_interval"],
                       self.sup["checkpoint_interval"],
-                      ckpt_blob, start_seq),
+                      ckpt_blob, start_seq, self.plan),
                 daemon=True)
             self.process.start()
         except BaseException:
@@ -440,12 +464,15 @@ class _ForkShard(_FaultMixin):
                 break           # journal evicted: restart cannot help
             except OSError:
                 continue
+            self._record_bundle("worker-restart", report)
             return True
         self._reap()
         if self._takeover(journal):
+            self._record_bundle("inline-takeover", report)
             return True
         self.quarantined = True
         self.quarantine_report = report
+        self._record_bundle("shard-quarantine", report)
         return False
 
     def _replay(self, journal: _Journal) -> None:
@@ -467,7 +494,8 @@ class _ForkShard(_FaultMixin):
             engine = _ShardEngine(
                 self.queries, self.engine_kwargs, self.indices,
                 [] if self.ckpt_blob is not None else self.stage_faults,
-                ckpt_blob=self.ckpt_blob, start_seq=self.last_ckpt_seq)
+                ckpt_blob=self.ckpt_blob, start_seq=self.last_ckpt_seq,
+                fault_plan=self.plan)
             for seq in range(self.last_ckpt_seq + 1, self.seq_target + 1):
                 engine.apply_frame_bytes(journal.frame(seq))
                 self.replayed_frames += 1
@@ -491,6 +519,8 @@ class _ForkShard(_FaultMixin):
                 self.quarantined = True
                 self.quarantine_report = error_report(
                     exc, shard=self.no, phase="inline-takeover")
+                self._record_bundle("shard-quarantine",
+                                    self.quarantine_report)
             return
         terminal = self._pump()
         if terminal is not None and terminal[0] == "fail":
@@ -643,6 +673,8 @@ class _ForkShard(_FaultMixin):
             self.quarantined = True
             self.quarantine_report = error_report(
                 exc, shard=self.no, phase="inline-finish")
+            self._record_bundle("shard-quarantine",
+                                self.quarantine_report)
             return self._quarantine_result()
         self.duplicates_dropped = result["duplicates_dropped"]
         return result
@@ -675,7 +707,8 @@ class _InlineShard(_FaultMixin):
         self.sup = sup
         self._init_faults(shard_no, indices, fault_plan)
         self.engine: Optional[_ShardEngine] = _ShardEngine(
-            queries, engine_kwargs, indices, self.stage_faults)
+            queries, engine_kwargs, indices, self.stage_faults,
+            fault_plan=fault_plan)
         self.bytes_shipped = 0
         self.frames_delivered = 0
         self.seq_target = 0
@@ -732,13 +765,15 @@ class _InlineShard(_FaultMixin):
             self.quarantined = True
             self.quarantine_report = report
             self.engine = None
+            self._record_bundle("shard-quarantine", report)
             return
         self.restarts += 1
         try:
             engine = _ShardEngine(
                 self.queries, self.engine_kwargs, self.indices,
                 [] if self.ckpt_blob is not None else self.stage_faults,
-                ckpt_blob=self.ckpt_blob, start_seq=self.last_ckpt_seq)
+                ckpt_blob=self.ckpt_blob, start_seq=self.last_ckpt_seq,
+                fault_plan=self.plan)
             for seq in range(self.last_ckpt_seq + 1, self.seq_target + 1):
                 engine.apply_frame_bytes(journal.frame(seq))
                 self.replayed_frames += 1
@@ -747,8 +782,11 @@ class _InlineShard(_FaultMixin):
             self.quarantine_report = error_report(
                 exc, shard=self.no, phase="replay")
             self.engine = None
+            self._record_bundle("shard-quarantine",
+                                self.quarantine_report)
             return
         self.engine = engine
+        self._record_bundle("worker-restart", report)
 
     def collect(self, timeout: Optional[float], journal: _Journal,
                 total_frames: int) -> Dict:
@@ -770,6 +808,7 @@ class _InlineShard(_FaultMixin):
             report = error_report(exc, shard=self.no, phase="finish")
             self.quarantined = True
             self.quarantine_report = report
+            self._record_bundle("shard-quarantine", report)
             return {"ok": False, "quarantined": True,
                     "error": "{}: {}".format(report["error_type"],
                                              report["message"]),
@@ -844,7 +883,8 @@ class ShardedMultiQueryRun:
                  projection: bool = False,
                  schema=None,
                  fuse: Optional[bool] = None,
-                 share_prefixes: Optional[bool] = None) -> None:
+                 share_prefixes: Optional[bool] = None,
+                 flight: Optional[bool] = None) -> None:
         self.query_texts: List[str] = []
         for q in queries:
             if not isinstance(q, str):
@@ -874,7 +914,14 @@ class ShardedMultiQueryRun:
                              projection=projection,
                              schema=schema,
                              fuse=fuse,
-                             share_prefixes=share_prefixes)
+                             share_prefixes=share_prefixes,
+                             flight=flight)
+        # The parent resolves the telemetry default the same way the
+        # forked workers will (same environment), so parent-side
+        # executor state — the tokenizer chunk histogram — is recorded
+        # exactly when the workers record.
+        self._parent_metrics = (_metrics_default() if metrics is None
+                                else bool(metrics))
         # Compile in the parent first: fail fast on a bad query before
         # any process is forked, and learn the stream metadata the
         # tokenizer needs (oids, source stream number, projection).  The
@@ -889,6 +936,8 @@ class ShardedMultiQueryRun:
         self.projection = probe.projection
         self._projection_matcher = probe.projection_matcher
         self.projection_stats = None
+        #: Parent-side tokenizer chunk-latency histogram (run_xml).
+        self.chunk_latency = None
         self.shards_indices = shard_queries(len(self.query_texts),
                                             self.workers, weights)
         ctx = _fork_context()
@@ -990,12 +1039,26 @@ class ShardedMultiQueryRun:
 
     def run_xml(self, text: str) -> "ShardedMultiQueryRun":
         """Evaluate over an XML document: one parent-side tokenizer pass."""
+        tok_hist = None
+        if self._parent_metrics:
+            from ..obs.histogram import LogHistogram
+            tok_hist = LogHistogram()
         if self._projection_matcher is not None:
             from ..xmlio.tokenizer import XMLTokenizer
             tok = XMLTokenizer(stream_id=self.source_id,
                                projection=self._projection_matcher)
+            tok.chunk_histogram = tok_hist
             events = list(tok.tokenize(text))
             self.projection_stats = tok.projection_stats
+            self.chunk_latency = tok_hist
+            return self.run(events)
+        if tok_hist is not None:
+            from ..xmlio.tokenizer import XMLTokenizer
+            tok = XMLTokenizer(stream_id=self.source_id,
+                               emit_oids=self.needs_oids)
+            tok.chunk_histogram = tok_hist
+            events = list(tok.tokenize(text))
+            self.chunk_latency = tok_hist
             return self.run(events)
         events = tokenize(text, stream_id=self.source_id,
                           emit_oids=self.needs_oids)
@@ -1102,7 +1165,20 @@ class ShardedMultiQueryRun:
             "fault_plan": (self.fault_plan.to_spec()
                            if self.fault_plan else None),
             "journal": self._journal.stats(),
+            "flight_bundles": sum(len(s.flight_bundles)
+                                  for s in shards),
         }
+
+    def flight_bundles(self) -> List[dict]:
+        """Post-mortem bundles from every shard recovery, shard order.
+
+        One bundle per recovery action (worker restart, inline
+        takeover, quarantine); each records the cumulative
+        ``replayed_frames`` counter as of that recovery, so the last
+        bundle of a run agrees with :meth:`fault_stats`.  The chaos CLI
+        writes these to its report directory.
+        """
+        return [b for s in self._shards for b in s.flight_bundles]
 
     def metrics(self) -> Optional[dict]:
         """Telemetry merged across shard workers (None when off).
@@ -1128,6 +1204,10 @@ class ShardedMultiQueryRun:
             proj = merged.setdefault("projection", {})
             for key, value in self.projection_stats.counter_dict().items():
                 proj[key] = proj.get(key, 0) + value
+        # Same discipline for the parent's tokenizer chunk histogram.
+        if self.chunk_latency is not None:
+            merged.setdefault("histograms", {})["tokenizer_chunk"] = \
+                self.chunk_latency.to_dict()
         return merged
 
     def __repr__(self) -> str:

@@ -33,6 +33,7 @@ original character-level scanner is preserved verbatim in
 from __future__ import annotations
 
 import re
+from time import perf_counter_ns
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from ..events.model import (Event, cdata, end_element, end_stream,
@@ -136,6 +137,12 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
         else:
             self._cursor = None
             self.projection_stats = None
+        #: Optional :class:`~repro.obs.histogram.LogHistogram` recording
+        #: per-feed() scan latency.  Installed at the executor level
+        #: (like ``projection_stats``) so a shared tokenizer is timed
+        #: once regardless of consumer count; None costs one ``is not
+        #: None`` test per chunk.
+        self.chunk_histogram = None
         self._buf = ""
         self._mode = _TEXT
         self._offset = 0
@@ -156,6 +163,8 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
         """Consume a chunk of XML text; return the newly completed events."""
         if self._finished:
             raise XMLSyntaxError("feed() after close()", self._offset)
+        hist = self.chunk_histogram
+        t0 = perf_counter_ns() if hist is not None else 0
         self._buf += chunk
         out: List[Event] = []
         if not self._started:
@@ -164,6 +173,8 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
         self._scan(out)
         if self.projection_stats is not None:
             self.projection_stats.events_emitted += len(out)
+        if hist is not None:
+            hist.record(perf_counter_ns() - t0)
         return out
 
     def close(self) -> List[Event]:

@@ -58,6 +58,11 @@ def _share_default() -> bool:
     return os.environ.get("REPRO_SHARE", "") not in ("", "0")
 
 
+def _flight_default() -> bool:
+    """Opt into flight recording via the REPRO_FLIGHT env variable."""
+    return os.environ.get("REPRO_FLIGHT", "") not in ("", "0")
+
+
 class QueryRun:
     """One live execution of a compiled query."""
 
@@ -73,21 +78,27 @@ class QueryRun:
                  sample_interval: int = 256,
                  reclaim_on_freeze: bool = True,
                  fuse: Optional[bool] = None,
-                 fusion_assume_updates: bool = False) -> None:
+                 fusion_assume_updates: bool = False,
+                 flight: Optional[bool] = None) -> None:
         if sanitize is None:
             sanitize = _sanitize_default()
         if metrics is None:
             metrics = _metrics_default()
         if fuse is None:
             fuse = _fuse_default()
+        if flight is None:
+            flight = _flight_default()
         self.fuse = bool(fuse)
         self.plan = plan
         self.display = Display(plan.result_id, on_change=on_change,
                                track_snapshots=track_snapshots)
-        if metrics or trace:
+        if metrics or trace or flight:
+            # Flight recording rides the instrumented drain, so it
+            # implies a recorder (same rule as tracing).
             from ..obs import MetricsRecorder
             self.recorder: Optional["MetricsRecorder"] = MetricsRecorder(
-                sample_interval=sample_interval, trace=trace)
+                sample_interval=sample_interval, trace=trace,
+                flight=flight)
         else:
             self.recorder = None
         fusion = None
@@ -286,7 +297,8 @@ class MultiQueryRun:
                  schema=None,
                  typecheck: bool = False,
                  fuse: Optional[bool] = None,
-                 share_prefixes: Optional[bool] = None) -> None:
+                 share_prefixes: Optional[bool] = None,
+                 flight: Optional[bool] = None) -> None:
         from ..core.multiplex import EventMultiplexer
         self.engines = []
         for q in queries:
@@ -300,10 +312,15 @@ class MultiQueryRun:
                         else bool(sanitize))
         eff_metrics = (_metrics_default() if metrics is None
                        else bool(metrics))
+        eff_flight = (_flight_default() if flight is None
+                      else bool(flight))
         if share_prefixes is None:
             share_prefixes = _share_default()
+        # Flight recording implies a recorder on every run, so it
+        # disengages sharing exactly like metrics does.
         self.share_prefixes = (bool(share_prefixes) and not always_active
-                               and not eff_sanitize and not eff_metrics)
+                               and not eff_sanitize and not eff_metrics
+                               and not eff_flight)
         self._slots = []        # query index -> index into self.runs
         seen = {}
         unique = []             # first engine of each unique slot
@@ -350,7 +367,8 @@ class MultiQueryRun:
                                 metrics=metrics,
                                 sample_interval=sample_interval,
                                 fuse=fuse,
-                                fusion_assume_updates=True)
+                                fusion_assume_updates=True,
+                                flight=flight)
 
             eff_fuse = _fuse_default() if fuse is None else bool(fuse)
             # Statically-empty slots never receive events, so sharing
@@ -379,7 +397,8 @@ class MultiQueryRun:
                                sanitize=sanitize,
                                metrics=metrics,
                                sample_interval=sample_interval,
-                               fuse=fuse)
+                               fuse=fuse,
+                               flight=flight)
             self.runs.append(run)
         source_ids = {r.plan.source_id for r in self.runs}
         if len(source_ids) > 1:
@@ -399,6 +418,9 @@ class MultiQueryRun:
         self.projection_matcher = None
         #: Tokenizer pruning counters, set by run_xml.
         self.projection_stats = None
+        #: Shared-tokenizer chunk-latency histogram, set by run_xml when
+        #: any run records metrics (executor state, counted once).
+        self.chunk_latency = None
         self._masks = {}
         if projection:
             from ..analysis.projection import (ProjectionMask,
@@ -446,6 +468,7 @@ class MultiQueryRun:
             if self._masks:
                 self.mux.set_masks(self._masks)
         self.fault_plan = fault_plan
+        self.mux.fault_plan = fault_plan
         if fault_plan:
             from ..fault import arm_stage_fault
             for q, stage, at in fault_plan.stage_faults():
@@ -480,12 +503,26 @@ class MultiQueryRun:
         query's path set can reach (the union projection); per-query
         masks narrow the fan-out further.
         """
+        tok_hist = None
+        if any(r.recorder is not None for r in self.runs):
+            from ..obs.histogram import LogHistogram
+            tok_hist = LogHistogram()
         if self.projection_matcher is not None:
             from ..xmlio.tokenizer import XMLTokenizer
             tok = XMLTokenizer(stream_id=self.source_id,
                                projection=self.projection_matcher)
+            tok.chunk_histogram = tok_hist
             events = list(tok.tokenize(text))
             self.projection_stats = tok.projection_stats
+            self.chunk_latency = tok_hist
+            return self.run(events)
+        if tok_hist is not None:
+            from ..xmlio.tokenizer import XMLTokenizer
+            tok = XMLTokenizer(stream_id=self.source_id,
+                               emit_oids=self.needs_oids)
+            tok.chunk_histogram = tok_hist
+            events = list(tok.tokenize(text))
+            self.chunk_latency = tok_hist
             return self.run(events)
         events = tokenize(text, stream_id=self.source_id,
                           emit_oids=self.needs_oids)
@@ -638,6 +675,11 @@ class MultiQueryRun:
             proj = merged.setdefault("projection", {})
             for key, value in self.projection_stats.counter_dict().items():
                 proj[key] = proj.get(key, 0) + value
+        if self.chunk_latency is not None:
+            # One shared tokenizer pass, one histogram — added here,
+            # not per run, so sharded parents merge to the same totals.
+            merged.setdefault("histograms", {})["tokenizer_chunk"] = \
+                self.chunk_latency.to_dict()
         return merged
 
     def __repr__(self) -> str:
@@ -708,7 +750,8 @@ class XFlux:
               trace: bool = False,
               sample_interval: int = 256,
               reclaim_on_freeze: bool = True,
-              fuse: Optional[bool] = None) -> QueryRun:
+              fuse: Optional[bool] = None,
+              flight: Optional[bool] = None) -> QueryRun:
         """Begin a continuous run; feed it events as they arrive."""
         return QueryRun(self.compile(), on_change=on_change,
                         track_snapshots=track_snapshots,
@@ -716,7 +759,7 @@ class XFlux:
                         sanitize=sanitize, metrics=metrics, trace=trace,
                         sample_interval=sample_interval,
                         reclaim_on_freeze=reclaim_on_freeze,
-                        fuse=fuse)
+                        fuse=fuse, flight=flight)
 
     def run(self, events: Iterable[Event], **kwargs) -> QueryRun:
         """Evaluate over a complete event stream."""
@@ -745,13 +788,26 @@ class XFlux:
             candidate = ProjectionMatcher(run.projection, schema=schema)
             if candidate.prunable:
                 matcher = candidate
+        tok_hist = None
+        if run.recorder is not None:
+            from ..obs.histogram import TOKENIZER_CHUNK, LogHistogram
+            tok_hist = run.recorder.histograms.setdefault(
+                TOKENIZER_CHUNK, LogHistogram())
         if matcher is None:
-            events = tokenize(text, stream_id=plan_probe.source_id,
-                              emit_oids=plan_probe.needs_oids)
+            if tok_hist is None:
+                events = tokenize(text, stream_id=plan_probe.source_id,
+                                  emit_oids=plan_probe.needs_oids)
+            else:
+                from ..xmlio.tokenizer import XMLTokenizer
+                tok = XMLTokenizer(stream_id=plan_probe.source_id,
+                                   emit_oids=plan_probe.needs_oids)
+                tok.chunk_histogram = tok_hist
+                events = list(tok.tokenize(text))
         else:
             from ..xmlio.tokenizer import XMLTokenizer
             tok = XMLTokenizer(stream_id=plan_probe.source_id,
                                projection=matcher)
+            tok.chunk_histogram = tok_hist
             events = list(tok.tokenize(text))
             run.projection_stats = tok.projection_stats
             if run.recorder is not None:

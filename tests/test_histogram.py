@@ -1,0 +1,173 @@
+"""Log2 latency-histogram tests: bucket math, quantiles, exact merges.
+
+The sharded-observability exactness claim rests on two halves that are
+tested separately, because wall-clock bucket placement is not
+deterministic across runs:
+
+* the merge arithmetic is **bucket-exact** — proven here with synthetic
+  deterministic values: merging per-shard histograms equals one
+  histogram fed every observation;
+* the observation *counts* are deterministic per source stream —
+  proven in tests/test_metrics.py by the 1/3/4-worker differential.
+"""
+
+import pytest
+
+from repro.obs import LogHistogram, merge_histogram_dicts, \
+    summarize_histogram_dict
+from repro.obs.histogram import N_BUCKETS, bucket_index, bucket_upper
+
+
+class TestBuckets:
+    def test_bucket_index_edges(self):
+        assert bucket_index(0) == 0
+        assert bucket_index(1) == 1
+        assert bucket_index(2) == 2
+        assert bucket_index(3) == 2
+        assert bucket_index(4) == 3
+        # Bucket i holds [2^(i-1), 2^i - 1].
+        for i in range(1, 20):
+            assert bucket_index(1 << (i - 1)) == i
+            assert bucket_index((1 << i) - 1) == i
+
+    def test_negative_clamps_to_zero(self):
+        assert bucket_index(-5) == 0
+
+    def test_huge_value_clamps_to_last_bucket(self):
+        assert bucket_index(1 << 200) == N_BUCKETS - 1
+
+    def test_bucket_upper_brackets_index(self):
+        assert bucket_upper(0) == 0
+        for i in range(1, 20):
+            assert bucket_index(bucket_upper(i)) == i
+            assert bucket_index(bucket_upper(i) + 1) == i + 1
+
+
+class TestRecording:
+    def test_exact_count_sum_min_max(self):
+        h = LogHistogram()
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        for v in values:
+            h.record(v)
+        s = h.summary()
+        assert s["count"] == len(values)
+        assert s["sum"] == sum(values)
+        assert s["min"] == min(values)
+        assert s["max"] == max(values)
+
+    def test_empty_summary(self):
+        s = LogHistogram().summary()
+        assert s["count"] == 0
+        assert s["p50"] is None and s["p99"] is None
+
+    def test_percentiles_on_known_distribution(self):
+        h = LogHistogram()
+        # 90 fast observations (~100ns bucket) + 10 slow (~1e6 bucket).
+        for _ in range(90):
+            h.record(100)
+        for _ in range(10):
+            h.record(1_000_000)
+        s = h.summary()
+        # p50 lands in the fast bucket, clamped to its observed range.
+        assert s["p50"] <= bucket_upper(bucket_index(100))
+        assert s["p50"] >= 100
+        # p99 lands in the slow bucket.
+        assert s["p95"] >= 1_000_000 or s["p99"] >= 1_000_000
+        assert s["max"] == 1_000_000
+
+    def test_percentile_clamped_to_observed_extremes(self):
+        h = LogHistogram()
+        h.record(7)
+        s = h.summary()
+        assert s["p50"] == 7 and s["p99"] == 7
+
+    def test_negative_observation_goes_to_zero_bucket(self):
+        h = LogHistogram()
+        h.record(-3)
+        assert h.summary()["min"] == 0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        h = LogHistogram()
+        for v in (0, 1, 17, 100000):
+            h.record(v)
+        d = h.to_dict()
+        back = LogHistogram.from_dict(d)
+        assert back.to_dict() == d
+        assert back.summary() == h.summary()
+
+    def test_buckets_sparse_string_keyed(self):
+        h = LogHistogram()
+        h.record(5)
+        d = h.to_dict()
+        assert all(isinstance(k, str) for k in d["buckets"])
+        assert sum(d["buckets"].values()) == 1
+
+
+class TestMergeExactness:
+    """Merged shard histograms must equal one histogram fed everything."""
+
+    def test_merge_equals_single_feed(self):
+        values = [0, 1, 2, 3, 100, 10**6, 5, 5, 5, 2**40]
+        whole = LogHistogram()
+        for v in values:
+            whole.record(v)
+        parts = [LogHistogram() for _ in range(3)]
+        for i, v in enumerate(values):
+            parts[i % 3].record(v)
+        merged = LogHistogram()
+        for p in parts:
+            merged.merge(p)
+        assert merged.to_dict() == whole.to_dict()
+        assert merged.summary() == whole.summary()
+
+    def test_merge_dict_equals_merge(self):
+        a, b = LogHistogram(), LogHistogram()
+        for v in (1, 2, 3):
+            a.record(v)
+        for v in (1000, 2000):
+            b.record(v)
+        via_obj = LogHistogram()
+        via_obj.merge(a)
+        via_obj.merge(b)
+        via_dict = LogHistogram()
+        via_dict.merge_dict(a.to_dict())
+        via_dict.merge_dict(b.to_dict())
+        assert via_obj.to_dict() == via_dict.to_dict()
+
+    def test_merge_histogram_dicts_by_name(self):
+        a = {"x": self._hist([1, 2]).to_dict(),
+             "y": self._hist([5]).to_dict()}
+        b = {"x": self._hist([3]).to_dict()}
+        merged = merge_histogram_dicts([a, b, None])
+        assert set(merged) == {"x", "y"}
+        assert merged["x"] == self._hist([1, 2, 3]).to_dict()
+        assert merged["y"] == a["y"]
+
+    def test_merge_empty_is_identity(self):
+        h = self._hist([4, 8])
+        m = LogHistogram()
+        m.merge(LogHistogram())
+        m.merge(h)
+        m.merge(LogHistogram())
+        assert m.to_dict() == h.to_dict()
+
+    @staticmethod
+    def _hist(values):
+        h = LogHistogram()
+        for v in values:
+            h.record(v)
+        return h
+
+
+class TestSummaryHelpers:
+    def test_summarize_histogram_dict(self):
+        h = LogHistogram()
+        for v in (10, 20, 30):
+            h.record(v)
+        assert summarize_histogram_dict(h.to_dict()) == h.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogHistogram().percentile(1.5)

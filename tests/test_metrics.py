@@ -271,6 +271,57 @@ class TestMerge:
         assert len(m["stages"]) == len(m_ref["stages"])
         assert "metrics" in sharded.stats()
 
+    @pytest.mark.parametrize("workers", [1, 3, 4])
+    def test_shard_histograms_and_flight_match_single_process(
+            self, workloads, workers):
+        """Sharded observability is exact where exactness is possible.
+
+        Bucket *values* are wall-clock and nondeterministic, so the
+        differential holds the deterministic parts equal: observation
+        counts (one ``update_latency`` sample per update-start source
+        event, one ``tokenizer_chunk`` sample per parent-side chunk)
+        and the flight ring's ``events_seen``.  Bucket-exact merge
+        arithmetic is proven separately in tests/test_histogram.py
+        with synthetic values.
+        """
+        names = ["Q1", "Q2", "Q3", "Q7"]
+        queries = [PAPER_QUERIES[n] for n in names]
+        text = workloads.text("X")
+        ref = MultiQueryRun(queries, metrics=True, flight=True)
+        ref.run_xml(text)
+        m_ref = ref.metrics()
+        sharded = ShardedMultiQueryRun(queries, workers=workers,
+                                       metrics=True, flight=True)
+        sharded.run_xml(text)
+        m = sharded.metrics()
+        assert sharded.texts() == ref.texts()
+        assert set(m["histograms"]) == set(m_ref["histograms"]) \
+            == {"drain_batch", "update_latency", "tokenizer_chunk"}
+        for hname in ("update_latency", "tokenizer_chunk"):
+            assert (m["histograms"][hname]["count"]
+                    == m_ref["histograms"][hname]["count"]), hname
+        assert m["histograms"]["drain_batch"]["count"] > 0
+        assert (m["flight"]["events_seen"]
+                == m_ref["flight"]["events_seen"])
+        assert m["flight"]["pipelines"] == m_ref["flight"]["pipelines"]
+
+    def test_update_latency_counts_update_starts(self):
+        """One latency observation per update-start source event."""
+        from repro.events.model import Kind
+        events = list(StockTicker(n_updates=60, seed=9).events())
+        starts = sum(1 for e in events
+                     if e.kind in (Kind.START_MUTABLE,
+                                   Kind.START_REPLACE,
+                                   Kind.START_INSERT_BEFORE,
+                                   Kind.START_INSERT_AFTER))
+        assert starts > 0
+        run = QueryRun(XFlux(STOCK_QUERY).compile(), metrics=True)
+        run.feed_all(events)
+        run.finish()
+        hist = run.recorder.histograms["update_latency"]
+        assert hist.count == starts
+        assert run.recorder.histograms["drain_batch"].count >= 1
+
     def test_shard_metrics_off_means_absent(self, workloads,
                                             monkeypatch):
         monkeypatch.delenv("REPRO_METRICS", raising=False)

@@ -188,3 +188,78 @@ class TestCLI:
         rc = cli_main(["stats", "X//["], out=out, err=err)
         assert rc == 2
         assert "error" in err.getvalue()
+
+
+class TestEpochMerge:
+    """Cross-process timestamp rebasing (merge_trace_dicts).
+
+    Each TraceLog pairs a monotonic epoch with a wall epoch at
+    construction; merging rebases every log onto the shared wall clock
+    by a per-log constant, so per-region ordering survives exactly and
+    cross-log interleavings become comparable.
+    """
+
+    def _traced(self, seed):
+        run = XFlux('stream()//quote[name="IBM"]/price').start(
+            trace=True)
+        run.feed_all(StockTicker(n_updates=40, seed=seed).events())
+        run.finish()
+        return run.metrics()["trace"]
+
+    def test_log_carries_paired_epochs(self):
+        d = TraceLog().to_dict()
+        assert d["epoch_mono_ns"] > 0
+        assert d["epoch_wall_ns"] > 0
+
+    def test_merged_hops_globally_sorted_and_tagged(self):
+        from repro.obs import merge_trace_dicts
+        merged = merge_trace_dicts([self._traced(1), self._traced(2)])
+        assert merged["logs"] == 2
+        times = [h["t_ns"] for h in merged["hops"]]
+        assert times == sorted(times)
+        assert {h["log"] for h in merged["hops"]} == {0, 1}
+        # Rebased onto the earliest wall epoch: nothing negative.
+        assert all(t >= 0 for t in times)
+
+    def test_merged_ordering_monotonic_per_region(self):
+        """Within any (log, region) the merged hop order is exactly
+        the original seq order — the rebasing offset is constant per
+        log, so it can never reorder a region's own hops."""
+        from repro.obs import merge_trace_dicts
+        merged = merge_trace_dicts([self._traced(3), self._traced(4)])
+        per_region = {}
+        for h in merged["hops"]:
+            per_region.setdefault((h["log"], h["region"]),
+                                  []).append(h)
+        assert per_region
+        for key, hops in per_region.items():
+            seqs = [h["seq"] for h in hops]
+            assert seqs == sorted(seqs), key
+            times = [h["t_ns"] for h in hops]
+            assert times == sorted(times), key
+
+    def test_skewed_worker_clocks_rebase_onto_one_timeline(self):
+        """Simulated fork skew: same hops, wildly different monotonic
+        zero points must land on the same wall timeline."""
+        from repro.obs import merge_trace_dicts
+        a = self._traced(5)
+        b = dict(a)
+        # Pretend log b came from a process whose monotonic clock is
+        # 1000 s ahead but whose hops happened at the same wall time.
+        skew = 1_000_000_000_000
+        b["epoch_mono_ns"] = a["epoch_mono_ns"] + skew
+        b["hops"] = [dict(h, t_ns=h["t_ns"] + skew) for h in a["hops"]]
+        merged = merge_trace_dicts([a, b])
+        for ha in merged["hops"]:
+            if ha["log"] == 0:
+                twin = next(h for h in merged["hops"]
+                            if h["log"] == 1 and h["seq"] == ha["seq"])
+                assert twin["t_ns"] == ha["t_ns"]
+
+    def test_legacy_dicts_without_epochs_still_merge(self):
+        from repro.obs import merge_trace_dicts
+        legacy = {"hops": [{"region": 1, "kind": "sM", "stage": 0,
+                            "action": "enter", "seq": 0, "t_ns": 5}],
+                  "links": [], "regions": 1}
+        merged = merge_trace_dicts([legacy])
+        assert merged["hops"][0]["t_ns"] == 5
