@@ -4,14 +4,16 @@
 Runs the paper-query benchmark (same harness as ``repro bench``) and
 compares per-query throughput against a committed ``BENCH_queries.json``
 — the one whose ``meta.git_commit`` stamps the tree the numbers came
-from.  Exits non-zero when the geomean slowdown exceeds the threshold,
-so CI can surface drift; the CI step runs warn-only (throughput on
-shared runners is noisy, and the committed baseline may have been
-recorded on different hardware or at a different scale — the gate is a
-tripwire, not a verdict).
+from.  By default a regression is *reported* (REGRESSION on stderr) but
+the exit code stays zero: throughput on shared runners is noisy, and the
+committed baseline may have been recorded on different hardware or at a
+different scale, so for PR runs the gate is a tripwire, not a verdict.
+The nightly CI job passes ``--strict``, which turns a regression into a
+non-zero exit so sustained drift actually fails somewhere visible.
 
     python benchmarks/compare.py --baseline BENCH_queries.json \
         --scale 0.1 --repeats 3 --threshold 1.30
+    python benchmarks/compare.py --strict   # nightly: fail on regression
 """
 
 from __future__ import annotations
@@ -49,6 +51,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                          "(default: every query in the baseline)")
     ap.add_argument("--json", action="store_true",
                     help="emit the comparison as JSON")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero on regression (default: report "
+                         "the regression but exit zero, for noisy PR "
+                         "runners)")
     return ap
 
 
@@ -125,7 +131,11 @@ def main(argv=None) -> int:
         print("REGRESSION: geomean slowdown {} exceeds threshold {}"
               .format(report["geomean_slowdown"], args.threshold),
               file=sys.stderr)
-        return 1
+        if args.strict:
+            return 1
+        print("(warn-only: pass --strict to fail on regression)",
+              file=sys.stderr)
+        return 0
     print("ok: within threshold")
     return 0
 

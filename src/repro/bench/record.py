@@ -39,6 +39,7 @@ MEMORY_JSON = "BENCH_memory.json"
 FAULT_JSON = "BENCH_fault.json"
 PROJECTION_JSON = "BENCH_projection.json"
 FUSION_JSON = "BENCH_fusion.json"
+RECOVERY_JSON = "BENCH_recovery.json"
 
 
 def _git_stamp() -> Dict:
@@ -216,6 +217,32 @@ def write_fault_file(out_dir: str = ".", scale: float = 0.1,
     if err is not None:
         print("wrote {}".format(path), file=err)
     return {FAULT_JSON: path}
+
+
+def write_recovery_file(out_dir: str = ".", scale: float = 0.1,
+                        repeats: int = 3,
+                        queries: Optional[Sequence[str]] = None,
+                        err=None) -> Dict[str, str]:
+    """Run the durability benchmark; returns the file path.
+
+    Steady-state write-ahead-log overhead (plain versus durable wall
+    time per dataset, budget <= 10%) and a replay-cost table: cold
+    recovery wall time against the length of the logged suffix at
+    several checkpoint cadences.  Byte-identity against the plain run
+    is verified before anything is written.
+    """
+    from .recovery import bench_recovery
+    os.makedirs(out_dir or ".", exist_ok=True)
+    workloads = Workloads(xmark_scale=scale, dblp_scale=scale)
+    payload = bench_recovery(workloads, repeats=repeats, queries=queries)
+    payload = dict(meta=_meta(workloads, repeats), **payload)
+    path = "{}/{}".format(out_dir.rstrip("/"), RECOVERY_JSON)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    if err is not None:
+        print("wrote {}".format(path), file=err)
+    return {RECOVERY_JSON: path}
 
 
 def write_projection_file(out_dir: str = ".", scale: float = 0.1,

@@ -67,6 +67,19 @@ grammar):
 
     python -m repro chaos --fault-plan 'kill:shard=0,after=3'
     python -m repro chaos --fault-plan 'corrupt:frame=5' --report-dir ci
+
+a whole-process crash mode of the same subcommand that SIGKILLs a
+durable run at seeded points and proves recovery from the write-ahead
+log is byte-identical:
+
+    python -m repro chaos --crash --seeds 1,2,3 --workers 1
+    python -m repro chaos --crash --workers 3 --report-dir ci
+
+and a recover subcommand that rebuilds a crashed run from its
+write-ahead log directory (see repro.fault.wal / repro.fault.recover):
+
+    python -m repro recover /var/run/job/wal --input catalog.xml
+    python -m repro recover ./wal --json --report-dir ci
 """
 
 from __future__ import annotations
@@ -76,7 +89,7 @@ import sys
 from typing import Iterable, Optional
 
 from .events.serialize import iter_loads
-from .xmlio.tokenizer import XMLTokenizer
+from .xmlio.tokenizer import XMLTokenizer, tokenize
 from .xquery.engine import XFlux
 
 
@@ -118,6 +131,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                     help="compile the pipeline into fused stage "
                          "segments (byte-identical by construction; "
                          "also: REPRO_FUSE=1)")
+    ap.add_argument("--max-depth", type=int, default=None,
+                    help="reject documents nesting elements deeper than "
+                         "this (structured error instead of unbounded "
+                         "stack growth)")
+    ap.add_argument("--max-token-bytes", type=int, default=None,
+                    help="reject any single tag or character-data run "
+                         "larger than this many bytes")
+    ap.add_argument("--max-attrs", type=int, default=None,
+                    help="reject elements carrying more attributes "
+                         "than this")
     ap.add_argument("--flight", action="store_true",
                     help="keep a bounded flight-recorder ring of recent "
                          "events for post-mortem bundles (also: "
@@ -607,6 +630,210 @@ def telemetry_main(argv, out, err, tracing: bool) -> int:
     return 0
 
 
+def build_recover_arg_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro recover",
+        description="Rebuild a crashed run from its write-ahead log: "
+                    "restore the newest valid checkpoint, replay the "
+                    "logged frame suffix, and print the recovered "
+                    "displays.  With --input the stream is also resumed "
+                    "past the last logged frame, reproducing an "
+                    "uninterrupted run byte for byte.")
+    ap.add_argument("wal_dir", help="directory holding wal-*.seg files")
+    ap.add_argument("--input",
+                    help="re-supply the original document to resume "
+                         "past the logged suffix ('-' for stdin)")
+    ap.add_argument("--events", action="store_true",
+                    help="--input is an event-per-line JSON stream, "
+                         "not XML")
+    ap.add_argument("--json", action="store_true",
+                    help="print the full recovery report as JSON "
+                         "instead of the recovered displays")
+    ap.add_argument("--report-dir",
+                    help="write recovery_report.json and the flight "
+                         "bundle into this directory")
+    ap.add_argument("--indent", type=int, default=2,
+                    help="JSON indentation (default 2)")
+    return ap
+
+
+def recover_main(argv, out, err) -> int:
+    """``python -m repro recover``: whole-process WAL recovery."""
+    import json
+    import os
+    from .fault import RecoveryError, WalError, recover
+    args = build_recover_arg_parser().parse_args(list(argv))
+    text = None
+    events = None
+    if args.input is not None:
+        raw = _read_text(args.input)
+        if args.events:
+            events = list(iter_loads(raw))
+        else:
+            text = raw
+    try:
+        result = recover(args.wal_dir, text=text, events=events)
+    except (WalError, RecoveryError) as exc:
+        detail = getattr(exc, "reason", None)
+        print("error: {}{}".format(
+            exc, " (reason={})".format(detail) if detail else ""),
+            file=err)
+        return 1
+    except OSError as exc:
+        print("error: {}".format(exc), file=err)
+        return 1
+    report = result.to_dict()
+    if args.report_dir:
+        from .obs.flightrec import write_bundle
+        os.makedirs(args.report_dir, exist_ok=True)
+        base = args.report_dir.rstrip("/")
+        with open("{}/recovery_report.json".format(base), "w") as handle:
+            json.dump(report, handle, indent=args.indent)
+            handle.write("\n")
+        if result.bundle is not None:
+            write_bundle(result.bundle,
+                         "{}/flightrec_recovery.json".format(base))
+    if args.json:
+        print(json.dumps(report, indent=args.indent), file=out)
+    else:
+        for i, text_out in enumerate(result.texts):
+            status = result.statuses[i] if result.statuses else "ok"
+            if status != "ok":
+                print("[query {}: {}]".format(i, status), file=out)
+            else:
+                print(text_out if text_out is not None else "", file=out)
+        print("recovered: {} frame(s) replayed, {} event(s) resumed"
+              .format(report["frames_replayed"],
+                      report["events_resumed"]), file=err)
+    return 0
+
+
+def _crash_child(wal_dir, queries, text, workers, batch_events,
+                 checkpoint_every, mutable_source, crash_after):
+    """Forked chaos --crash child: run durably, die by SIGKILL mid-log."""
+    import os
+    # Lead a fresh process group so the supervising parent can reap the
+    # whole engine — the SIGKILL lands mid-flight, before this process
+    # can clean up the shard workers it forked, and orphaned workers
+    # would otherwise hold inherited pipe ends (stdout included) open
+    # forever.
+    os.setpgrp()
+    if workers <= 1:
+        from .xquery.engine import MultiQueryRun
+        MultiQueryRun(queries, mutable_source=mutable_source).run_xml(
+            text, durable=wal_dir, batch_events=batch_events,
+            checkpoint_every=checkpoint_every,
+            crash_after_frames=crash_after)
+    else:
+        from .parallel import ShardedMultiQueryRun
+        smq = ShardedMultiQueryRun(
+            queries, workers=workers, batch_events=batch_events,
+            checkpoint_interval=checkpoint_every,
+            mutable_source=mutable_source,
+            durable_dir=wal_dir,
+            durable_opts={"crash_after_frames": crash_after})
+        smq.run_xml(text)
+
+
+def chaos_crash_main(args, names, queries, text, out, err) -> int:
+    """``repro chaos --crash``: SIGKILL the engine at seeded points,
+    recover from the WAL, and assert byte-identity with a clean run."""
+    import json
+    import multiprocessing
+    import os
+    import shutil
+    import tempfile
+    from .fault import RecoveryError, WalError, recover
+    from .xquery.engine import MultiQueryRun
+    seeds = [int(s) for s in str(args.seeds).split(",") if s.strip()]
+    clean = MultiQueryRun(queries, mutable_source=args.mutable_source)
+    clean.run_xml(text)
+    clean_texts, clean_statuses = clean.texts(), clean.statuses()
+    n_events = len(tokenize(text, emit_oids=clean.needs_oids))
+    total_frames = max(1, -(-n_events // args.batch_events))
+    ctx = multiprocessing.get_context("fork")
+    entries = []
+    bundles = []
+    failed = False
+    for seed in seeds:
+        crash_after = 1 + (seed * 2654435761) % total_frames
+        work_dir = tempfile.mkdtemp(prefix="repro-crash-")
+        wal_dir = os.path.join(work_dir, "wal")
+        entry = {"seed": seed, "crash_after_frames": crash_after,
+                 "workers": args.workers}
+        try:
+            proc = ctx.Process(
+                target=_crash_child,
+                args=(wal_dir, queries, text, args.workers,
+                      args.batch_events, args.checkpoint_every,
+                      args.mutable_source, crash_after))
+            proc.start()
+            proc.join()
+            try:
+                # Reap shard workers orphaned by the child's SIGKILL
+                # (the child led its own process group, see
+                # _crash_child).
+                import signal as _signal
+                os.killpg(proc.pid, _signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+            entry["exitcode"] = proc.exitcode
+            if proc.exitcode != -9:
+                entry["error"] = ("child exited {} instead of SIGKILL"
+                                  .format(proc.exitcode))
+                failed = True
+                continue
+            try:
+                res = recover(wal_dir, text=text)
+            except (WalError, RecoveryError) as exc:
+                entry["error"] = str(exc)
+                failed = True
+                continue
+            entry["frames_replayed"] = res.frames_replayed
+            entry["events_resumed"] = res.events_resumed
+            identical = (res.texts == clean_texts
+                         and res.statuses == clean_statuses)
+            entry["recovered_byte_identical"] = identical
+            if res.bundle is not None:
+                bundles.append(res.bundle)
+            if not identical:
+                entry["diverged"] = [
+                    names[i] for i in range(len(names))
+                    if res.texts[i] != clean_texts[i]
+                    or res.statuses[i] != clean_statuses[i]]
+                failed = True
+        finally:
+            entries.append(entry)
+            shutil.rmtree(work_dir, ignore_errors=True)
+    report = {
+        "mode": "crash",
+        "queries": names,
+        "seeds": seeds,
+        "total_frames": total_frames,
+        "runs": entries,
+        "all_recovered_byte_identical": not failed,
+    }
+    if args.report_dir:
+        from .obs.flightrec import write_bundle
+        os.makedirs(args.report_dir, exist_ok=True)
+        base = args.report_dir.rstrip("/")
+        files = []
+        for n, bundle in enumerate(bundles):
+            path = "{}/flightrec_recovery_{:03d}.json".format(base, n)
+            write_bundle(bundle, path)
+            files.append(path)
+        report["flight_bundle_files"] = files
+        with open("{}/crash_report.json".format(base), "w") as handle:
+            json.dump(report, handle, indent=args.indent)
+            handle.write("\n")
+    print(json.dumps(report, indent=args.indent), file=out)
+    if failed:
+        print("error: crash recovery diverged from the clean run",
+              file=err)
+        return 1
+    return 0
+
+
 def build_chaos_arg_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro chaos",
@@ -616,10 +843,22 @@ def build_chaos_arg_parser() -> argparse.ArgumentParser:
                     "output is byte-identical.  Exits non-zero only "
                     "when ALL queries fail or a survivor's output "
                     "diverges.")
-    ap.add_argument("--fault-plan", required=True,
+    ap.add_argument("--fault-plan",
                     help="fault spec, e.g. 'kill:shard=0,after=3' or "
                          "'corrupt:frame=5;raise:query=1,stage=0,at=99' "
-                         "(see repro.fault for the grammar)")
+                         "(see repro.fault for the grammar); required "
+                         "unless --crash is given")
+    ap.add_argument("--crash", action="store_true",
+                    help="whole-process crash mode: run the workload "
+                         "durably, SIGKILL the engine at a seeded "
+                         "frame, then recover from the write-ahead log "
+                         "and assert byte-identity with a clean run")
+    ap.add_argument("--seeds", default="1",
+                    help="comma-separated seeds for --crash; each seed "
+                         "picks one crash frame (default: 1)")
+    ap.add_argument("--checkpoint-every", type=int, default=4,
+                    help="frames between checkpoints in --crash mode "
+                         "(default 4)")
     ap.add_argument("--queries", default="Q1,Q2,Q5,Q7",
                     help="comma-separated paper query names or query "
                          "texts (default: Q1,Q2,Q5,Q7)")
@@ -653,10 +892,9 @@ def chaos_main(argv, out, err) -> int:
     from .fault import FaultPlan
     from .parallel import ShardedMultiQueryRun
     args = build_chaos_arg_parser().parse_args(list(argv))
-    try:
-        plan = FaultPlan.parse(args.fault_plan)
-    except ValueError as exc:
-        print("error: {}".format(exc), file=err)
+    if not args.crash and args.fault_plan is None:
+        print("error: --fault-plan is required unless --crash is given",
+              file=err)
         return 2
     names = [q.strip() for q in args.queries.split(",") if q.strip()]
     queries = [PAPER_QUERIES.get(n, n) for n in names]
@@ -665,6 +903,13 @@ def chaos_main(argv, out, err) -> int:
     else:
         from .data.xmark import XMarkGenerator
         text = XMarkGenerator(scale=args.scale).text()
+    if args.crash:
+        return chaos_crash_main(args, names, queries, text, out, err)
+    try:
+        plan = FaultPlan.parse(args.fault_plan)
+    except ValueError as exc:
+        print("error: {}".format(exc), file=err)
+        return 2
 
     def run(fault_plan):
         # The faulted run flies with the flight recorder on, so any
@@ -781,6 +1026,11 @@ def build_bench_arg_parser() -> argparse.ArgumentParser:
     ap.add_argument("--fault-plan",
                     help="fault spec for --fault (default: "
                          "kill:shard=0,after=3; see repro.fault)")
+    ap.add_argument("--recovery", action="store_true",
+                    help="benchmark durability cost instead: steady-"
+                         "state write-ahead-log overhead and replay "
+                         "time vs logged-suffix length; writes "
+                         "BENCH_recovery.json")
     ap.add_argument("--projection", action="store_true",
                     help="benchmark stream projection instead: "
                          "off vs on per query, byte-identity verified; "
@@ -798,11 +1048,16 @@ def bench_main(argv, out, err) -> int:
     from .bench.record import (write_bench_files, write_fault_file,
                                write_fusion_file, write_memory_file,
                                write_multiquery_file,
-                               write_projection_file)
+                               write_projection_file,
+                               write_recovery_file)
     args = build_bench_arg_parser().parse_args(list(argv))
     queries = args.queries.split(",") if args.queries else None
     try:
-        if args.fusion:
+        if args.recovery:
+            paths = write_recovery_file(
+                out_dir=args.out_dir, scale=args.scale,
+                repeats=args.repeats, queries=queries, err=err)
+        elif args.fusion:
             paths = write_fusion_file(
                 out_dir=args.out_dir, scale=args.scale,
                 repeats=args.repeats, queries=queries, err=err)
@@ -852,11 +1107,19 @@ def _read_text(path: Optional[str]) -> str:
         return handle.read()
 
 
-def _event_source(text: str, events_mode: bool, needs_oids: bool):
+def _event_source(text: str, events_mode: bool, needs_oids: bool,
+                  limits=None):
     if events_mode:
         return iter_loads(text)
-    tok = XMLTokenizer(emit_oids=needs_oids)
+    tok = XMLTokenizer(emit_oids=needs_oids, **(limits or {}))
     return tok.tokenize(text)
+
+
+def _tokenizer_limits(args) -> dict:
+    return {name: value for name, value in (
+        ("max_depth", args.max_depth),
+        ("max_token_bytes", args.max_token_bytes),
+        ("max_attrs", args.max_attrs)) if value is not None}
 
 
 def main(argv: Optional[Iterable[str]] = None,
@@ -876,6 +1139,8 @@ def main(argv: Optional[Iterable[str]] = None,
         return telemetry_main(argv[1:], out, err, tracing=True)
     if argv and argv[0] == "export":
         return export_main(argv[1:], out, err)
+    if argv and argv[0] == "recover":
+        return recover_main(argv[1:], out, err)
     args = build_arg_parser().parse_args(argv)
 
     if args.query_file:
@@ -914,7 +1179,8 @@ def main(argv: Optional[Iterable[str]] = None,
             print("error: {}".format(exc), file=err)
             return 2
         if matcher.prunable:
-            proj_tok = XMLTokenizer(projection=matcher)
+            proj_tok = XMLTokenizer(projection=matcher,
+                                    **_tokenizer_limits(args))
 
     text = _read_text(input_path)
     run = engine.start(sanitize=True if args.sanitize else None,
@@ -923,7 +1189,8 @@ def main(argv: Optional[Iterable[str]] = None,
                        flight=True if args.flight else None)
     shown: Optional[str] = None
     source = (proj_tok.tokenize(text) if proj_tok is not None
-              else _event_source(text, args.events, plan.needs_oids))
+              else _event_source(text, args.events, plan.needs_oids,
+                                 limits=_tokenizer_limits(args)))
     try:
         for event in source:
             run.feed(event)

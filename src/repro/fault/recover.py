@@ -1,0 +1,338 @@
+"""Whole-process crash recovery from the write-ahead log.
+
+Counterpart of :mod:`repro.fault.wal`: given a log directory produced
+by a durable run (``XFlux.run_xml(durable=...)``,
+``MultiQueryRun.run_durable``, or a sharded run with ``durable_dir``),
+:func:`recover` rebuilds the executor in a *fresh process* and brings
+it to the exact pre-crash state:
+
+1. scan the log (:func:`~repro.fault.wal.scan_wal` — torn tails are
+   truncated at the last valid record, anything else raises
+   :class:`~repro.fault.wal.WalError`),
+2. restore the newest valid checkpoint envelope (for sharded logs, the
+   newest per shard), or build a fresh executor from the manifest when
+   a shard never checkpointed,
+3. replay exactly the logged frame suffix past each checkpoint's
+   cover point, in sequence order.
+
+Soundness rests on the write-ahead invariant (a frame is on disk
+before any pipeline sees its events) plus deterministic execution: the
+recovered state equals the uninterrupted state after the last logged
+frame, byte for byte.  When the original input is re-supplied
+(``text=`` / ``events=``) the run then *resumes* — the already-covered
+event prefix is skipped and the remainder is fed — so the final
+displays and statuses are byte-identical to a run that never crashed.
+Quarantines recorded in the log (STATUS records) are merged into the
+recovered statuses, covering faults that are not replay-reproducible.
+
+Every recovery attaches a flight-recorder bundle
+(:mod:`repro.obs.flightrec`) describing what was restored, replayed,
+and repaired.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from ..events import codec
+from .wal import WalError, WalState, scan_wal
+
+
+class RecoveryError(WalError):
+    """The log is readable but the run cannot be reconstructed."""
+
+
+class RecoveryResult:
+    """Outcome of one :func:`recover` call.
+
+    Attributes:
+        kind: ``"query"`` / ``"multiquery"`` / ``"sharded"``.
+        queries: query texts, submission order.
+        texts: recovered answers (``None`` for quarantined queries).
+        statuses: per-query ``"ok"`` / ``"quarantined"`` / ``"empty"``.
+        error_reports: query index -> error report.
+        frames_replayed: logged frames fed past the checkpoint(s).
+        events_resumed: events fed from the re-supplied input tail.
+        checkpoint_seqs: shard key -> cover seq of the restored
+            checkpoint (``None`` key: whole-process).
+        complete: the recovered run reached end of stream (EOS logged,
+            or the input tail was re-supplied and drained).
+        truncated: torn-tail repair note from the scan, or ``None``.
+        bundle: the attached flight-recorder bundle.
+        executors: the live executor(s) — one
+            :class:`~repro.xquery.engine.MultiQueryRun` or
+            :class:`~repro.xquery.engine.QueryRun`, or the per-shard
+            list for sharded logs — for callers that keep feeding.
+    """
+
+    def __init__(self) -> None:
+        self.kind = None
+        self.queries: List[str] = []
+        self.texts: List[Optional[str]] = []
+        self.statuses: List[str] = []
+        self.error_reports: dict = {}
+        self.frames_replayed = 0
+        self.events_resumed = 0
+        self.checkpoint_seqs: dict = {}
+        self.complete = False
+        self.truncated: Optional[dict] = None
+        self.bundle: Optional[dict] = None
+        self.executors = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "queries": self.queries,
+            "texts": self.texts,
+            "statuses": self.statuses,
+            "error_reports": {str(k): v for k, v
+                              in self.error_reports.items()},
+            "frames_replayed": self.frames_replayed,
+            "events_resumed": self.events_resumed,
+            "checkpoint_seqs": {("*" if k is None else str(k)): v
+                                for k, v in self.checkpoint_seqs.items()},
+            "complete": self.complete,
+            "truncated": self.truncated,
+        }
+
+
+def _replay_frames(state: WalState, mq, floor: int,
+                   batch_events: int) -> int:
+    """Feed the logged frames past ``floor`` into ``mq``, in order."""
+    replayed = 0
+    for seq in range(floor + 1, state.last_frame + 1):
+        payload = state.frames.get(seq)
+        if payload is None:
+            raise RecoveryError(
+                "frame {} is gone from the log but a checkpoint at {} "
+                "still needs it".format(seq, floor),
+                reason="missing-frame")
+        mq.feed_all(codec.decode_batch(payload))
+        replayed += 1
+    return replayed
+
+
+def _events_consumed(state: WalState, batch_events: int) -> int:
+    """Source events covered by frames ``1..last``, pruned ones included.
+
+    Only full frames are ever pruned mid-stream (a partial frame exists
+    only at end of stream, after which EOS is logged and no resume
+    happens), so missing sequence numbers each stand for exactly
+    ``batch_events`` events.
+    """
+    consumed = sum(struct.unpack_from("<I", p)[0]
+                   for p in state.frames.values())
+    missing = state.last_frame - len(
+        [s for s in state.frames if s <= state.last_frame])
+    return consumed + missing * batch_events
+
+
+def _tail_events(state: WalState, manifest: dict, text, events,
+                 source_id: int, needs_oids: bool):
+    """The not-yet-logged event suffix of the re-supplied input."""
+    if text is None and events is None:
+        return None
+    if events is None:
+        from ..xmlio.tokenizer import tokenize
+        events = list(tokenize(text, stream_id=source_id,
+                               emit_oids=needs_oids))
+    else:
+        events = list(events)
+    consumed = _events_consumed(state,
+                                int(manifest.get("batch_events", 512)))
+    return events[consumed:]
+
+
+def _merge_statuses(mq, notes, index_of) -> None:
+    """Force quarantines the log recorded but the replay did not.
+
+    Deterministic replay normally reproduces them; this covers faults
+    that fire once (injected faults, environmental failures) so the
+    recovered statuses still match the interrupted run's.
+    """
+    statuses = mq.statuses()
+    for note in notes:
+        local = index_of(note.get("query"))
+        if local is None or statuses[local] != "ok":
+            continue
+        slot = mq._slots[local]
+        mq.mux.quarantined[slot] = {
+            "error_type": note.get("error_type"),
+            "message": note.get("message"),
+            "recovered_from_log": True,
+            "at_seq": note.get("at_seq"),
+        }
+
+
+def _recover_single(state: WalState, manifest: dict, text, events,
+                    finish, result: RecoveryResult) -> None:
+    from ..xquery.engine import MultiQueryRun, XFlux
+    kind = manifest["kind"]
+    ckpt = state.checkpoints.get(None)
+    floor = ckpt[0] if ckpt else 0
+    if ckpt:
+        result.checkpoint_seqs[None] = floor
+    if kind == "multiquery":
+        if ckpt is not None:
+            mq = MultiQueryRun.restore(ckpt[1],
+                                       queries=manifest["queries"])
+        else:
+            mq = MultiQueryRun(manifest["queries"],
+                               **manifest.get("engine", {}))
+        source_id, needs_oids = mq.source_id, mq.needs_oids
+    else:
+        engine = XFlux(manifest["query"],
+                       mutable_source=manifest.get("mutable_source",
+                                                   False),
+                       ignore_updates=manifest.get("ignore_updates",
+                                                   False))
+        mq = engine.start()
+        if ckpt is not None:
+            mq.restore(ckpt[1])
+        source_id = mq.plan.source_id
+        needs_oids = mq.plan.needs_oids
+    result.frames_replayed = _replay_frames(
+        state, mq, floor, int(manifest.get("batch_events", 512)))
+    tail = _tail_events(state, manifest, text, events,
+                        source_id, needs_oids)
+    if tail is not None:
+        mq.feed_all(tail)
+        result.events_resumed = len(tail)
+    result.complete = state.eos_seq is not None or tail is not None
+    if finish if finish is not None else result.complete:
+        mq.finish()
+    if kind == "multiquery":
+        _merge_statuses(mq, state.statuses, lambda q: q)
+        result.texts = mq.texts()
+        result.statuses = mq.statuses()
+        result.error_reports = mq.error_reports()
+    else:
+        result.texts = [mq.text()]
+        result.statuses = ["ok"]
+    result.executors = mq
+
+
+def _recover_sharded(state: WalState, manifest: dict, text, events,
+                     finish, result: RecoveryResult) -> None:
+    """Rebuild every shard in-process and reassemble submission order.
+
+    Shard workers run plain :class:`MultiQueryRun` executors over the
+    broadcast frames, so recovering them inline (no re-fork) yields the
+    same bytes the supervised run would have produced.
+    """
+    from ..xquery.engine import MultiQueryRun
+    queries = manifest["queries"]
+    shards = manifest["shards"]
+    engine_kwargs = manifest.get("engine", {})
+    do_finish = None
+    texts: List[Optional[str]] = [None] * len(queries)
+    statuses: List[str] = ["ok"] * len(queries)
+    tail = None
+    shard_mqs = []
+    for shard_no, indices in enumerate(shards):
+        sub = [queries[i] for i in indices]
+        ckpt = state.checkpoints.get(shard_no)
+        if ckpt is not None:
+            mq = MultiQueryRun.restore(ckpt[1], queries=sub)
+            floor = ckpt[0]
+            result.checkpoint_seqs[shard_no] = floor
+        else:
+            mq = MultiQueryRun(sub, **engine_kwargs)
+            floor = 0
+        result.frames_replayed += _replay_frames(
+            state, mq, floor, int(manifest.get("batch_events", 4096)))
+        if tail is None:
+            tail = _tail_events(state, manifest, text, events,
+                                mq.source_id,
+                                bool(manifest.get("needs_oids",
+                                                  mq.needs_oids)))
+        if tail is not None:
+            mq.feed_all(tail)
+            result.events_resumed = len(tail)
+        result.complete = state.eos_seq is not None or tail is not None
+        if do_finish is None:
+            do_finish = finish if finish is not None else result.complete
+        if do_finish:
+            mq.finish()
+
+        def to_local(global_q, indices=indices):
+            try:
+                return indices.index(global_q)
+            except ValueError:
+                return None
+
+        _merge_statuses(mq, state.statuses, to_local)
+        sub_texts = mq.texts()
+        sub_statuses = mq.statuses()
+        sub_reports = mq.error_reports()
+        for local, global_q in enumerate(indices):
+            texts[global_q] = sub_texts[local]
+            statuses[global_q] = sub_statuses[local]
+            if local in sub_reports:
+                result.error_reports[global_q] = sub_reports[local]
+        shard_mqs.append(mq)
+    result.texts = texts
+    result.statuses = statuses
+    result.executors = shard_mqs
+
+
+def recover(directory: str, text: Optional[str] = None,
+            events=None, finish: Optional[bool] = None) -> RecoveryResult:
+    """Recover a durable run from its write-ahead log directory.
+
+    Args:
+        directory: the WAL directory of the interrupted run.
+        text: the original XML document, to *resume* past the logged
+            position (optional; without it the run is restored exactly
+            to the last logged frame).
+        events: the original event stream (mutually exclusive
+            alternative to ``text`` for update-stream runs).
+        finish: force finishing (or not) the recovered pipelines;
+            ``None`` finishes exactly when the stream is complete —
+            EOS logged, or the input tail was re-supplied.
+
+    Returns a :class:`RecoveryResult` with a flight-recorder bundle
+    attached; raises :class:`~repro.fault.wal.WalError` on mid-log
+    corruption and :class:`RecoveryError` when the log is sound but
+    insufficient (e.g. a needed frame was truncated away).
+    """
+    if text is not None and events is not None:
+        raise ValueError("pass text= or events=, not both")
+    state = scan_wal(directory, repair=True)
+    manifest = state.manifest or {}
+    kind = manifest.get("kind")
+    result = RecoveryResult()
+    result.kind = kind
+    result.truncated = state.truncated
+    if kind == "query":
+        result.queries = [manifest["query"]]
+        _recover_single(state, manifest, text, events, finish, result)
+    elif kind == "multiquery":
+        result.queries = list(manifest["queries"])
+        _recover_single(state, manifest, text, events, finish, result)
+    elif kind == "sharded":
+        result.queries = list(manifest["queries"])
+        _recover_sharded(state, manifest, text, events, finish, result)
+    else:
+        raise RecoveryError(
+            "manifest names no recoverable run kind: {!r}".format(kind),
+            reason="bad-record")
+    from ..obs.flightrec import build_bundle
+    result.bundle = build_bundle(
+        "recovery",
+        wal_directory=directory,
+        wal_records=state.records,
+        last_frame=state.last_frame,
+        eos_seq=state.eos_seq,
+        torn_tail=state.truncated,
+        checkpoint_seqs={("*" if k is None else k): v for k, v
+                         in result.checkpoint_seqs.items()},
+        frames_replayed=result.frames_replayed,
+        events_resumed=result.events_resumed,
+        statuses=result.statuses,
+    )
+    return result
+
+
+__all__ = ["RecoveryError", "RecoveryResult", "recover"]

@@ -152,6 +152,40 @@ class _Journal:
                 "evicted_to": self.evicted_to}
 
 
+class _WalJournal:
+    """Journal facade backed by the write-ahead log (durable runs).
+
+    Durable mode logs every frame to disk *before* dispatch, so the
+    in-memory journal is redundant: ``append`` and ``prune`` are no-ops
+    (retention is governed by the WAL's checkpoint-gated truncation)
+    and worker restarts replay the frame bytes straight out of the
+    log — disk-authoritative, identical bytes by construction
+    (:meth:`~repro.fault.wal.WriteAheadLog.frame_bytes`).
+    """
+
+    def __init__(self, wal) -> None:
+        self.wal = wal
+
+    def append(self, seq: int, frame: bytes) -> None:
+        pass                    # logged ahead of dispatch in _flush
+
+    def prune(self, upto: int) -> None:
+        pass                    # WAL truncation is checkpoint-gated
+
+    def frame(self, seq: int) -> bytes:
+        from ..fault.wal import WalError
+        try:
+            return self.wal.frame_bytes(seq)
+        except WalError as exc:
+            raise ShardError(
+                "write-ahead log cannot replay frame {}: {}".format(
+                    seq, exc))
+
+    def stats(self) -> dict:
+        return {"frames": self.wal.frames, "limit": None,
+                "evicted_to": self.wal.floor(), "wal": True}
+
+
 class _ShardEngine:
     """Sequence-disciplined frame consumer driving one shard's executor.
 
@@ -861,6 +895,19 @@ class ShardedMultiQueryRun:
             each worker's ``MultiQueryRun`` (stage fusion and shared
             prefix tries are per-process — a shard's members can only
             share with co-resident queries).
+        durable_dir: directory for a write-ahead log
+            (:mod:`repro.fault.wal`).  The parent owns the WAL: every
+            broadcast frame is durably logged *before* any worker sees
+            it, worker checkpoints are mirrored into the log as
+            per-shard CKPT records, and worker restarts replay from
+            the log instead of the in-memory journal.  After SIGKILL
+            of the whole parent, :func:`repro.fault.recover.recover`
+            on the directory reproduces the run byte-identically.
+            Not combinable with ``projection`` (the log must hold the
+            full stream a recovery can resume from).
+        durable_opts: passed to
+            :class:`~repro.fault.wal.WriteAheadLog` (``segment_bytes``,
+            ``fsync``, ``crash_after_frames``).
     """
 
     def __init__(self, queries: Sequence[str],
@@ -884,7 +931,9 @@ class ShardedMultiQueryRun:
                  schema=None,
                  fuse: Optional[bool] = None,
                  share_prefixes: Optional[bool] = None,
-                 flight: Optional[bool] = None) -> None:
+                 flight: Optional[bool] = None,
+                 durable_dir: Optional[str] = None,
+                 durable_opts: Optional[Dict] = None) -> None:
         self.query_texts: List[str] = []
         for q in queries:
             if not isinstance(q, str):
@@ -943,6 +992,30 @@ class ShardedMultiQueryRun:
         ctx = _fork_context()
         self.mode = "fork" if ctx is not None else "inline"
         self._journal = _Journal(journal_limit)
+        self._wal = None
+        self._wal_ckpt_logged: Dict[int, int] = {}
+        if durable_dir is not None:
+            if projection:
+                raise ValueError("durable runs do not combine with "
+                                 "tokenizer projection")
+            from ..fault.wal import WriteAheadLog, jsonable_kwargs
+            self._wal = WriteAheadLog(durable_dir,
+                                      **(durable_opts or {}))
+            self._wal.begin({
+                "kind": "sharded",
+                "queries": list(self.query_texts),
+                "shards": [list(s) for s in self.shards_indices],
+                "engine": jsonable_kwargs(engine_kwargs),
+                "batch_events": batch_events,
+                "needs_oids": self.needs_oids,
+                "source_id": self.source_id,
+                "workers": len(self.shards_indices),
+            })
+            self._wal.register_shards(range(len(self.shards_indices)))
+            # Replay serves from the WAL, not the bounded in-memory
+            # journal — durable frames are never evicted before their
+            # checkpoint floor passes them.
+            self._journal = _WalJournal(self._wal)
         self._shards = []
         for shard_no, indices in enumerate(self.shards_indices):
             shard_queries_ = [self.query_texts[i] for i in indices]
@@ -983,15 +1056,39 @@ class ShardedMultiQueryRun:
             return
         # Encode once; every worker receives the identical frame bytes.
         seq = self.frames + 1
-        frame = codec.encode_checked_frame(self._buffer, seq)
+        payload = codec.encode_batch(self._buffer)
+        frame = codec.frame_checked(payload, seq)
         self.events_in += len(self._buffer)
         self.frames = seq
         self._buffer.clear()
+        if self._wal is not None:
+            # Write-ahead: the frame is durably on disk before any
+            # worker can see it, so a crash of this parent at any point
+            # leaves a log that covers everything dispatched.
+            self._wal.log_frame(seq, payload)
         journal = self._journal
         journal.append(seq, frame)
         for shard in self._shards:
             shard.deliver(seq, frame, journal)
         self._prune_journal()
+        if self._wal is not None:
+            self._log_worker_checkpoints()
+
+    def _log_worker_checkpoints(self) -> None:
+        """Mirror newly arrived worker checkpoints into the WAL.
+
+        Each CKPT record advances that shard's replay floor; once every
+        shard has a logged checkpoint the WAL can rotate and truncate
+        (bounded log).
+        """
+        for shard in self._shards:
+            blob = shard.ckpt_blob
+            seq = shard.last_ckpt_seq
+            if blob is None or seq <= self._wal_ckpt_logged.get(
+                    shard.no, 0):
+                continue
+            self._wal.checkpoint(blob, seq, shard=shard.no)
+            self._wal_ckpt_logged[shard.no] = seq
 
     def _prune_journal(self) -> None:
         """Drop frames every possible future replay is past."""
@@ -1031,6 +1128,13 @@ class ShardedMultiQueryRun:
         self._texts = texts
         self._statuses = statuses
         self._error_reports = reports
+        if self._wal is not None:
+            self._log_worker_checkpoints()
+            for i, status in enumerate(statuses):
+                if status == "quarantined":
+                    self._wal.status(i, reports.get(i, {}), self.frames)
+            self._wal.eos()
+            self._wal.close()
         return self
 
     def run(self, events: Iterable[Event]) -> "ShardedMultiQueryRun":

@@ -2,11 +2,13 @@
 
 from .dom import (Element, Node, Text, forest_from_events, forest_to_xml,
                   parse)
-from .tokenizer import XMLSyntaxError, XMLTokenizer, iter_tokenize, tokenize
+from .tokenizer import (ResourceLimitError, XMLSyntaxError, XMLTokenizer,
+                        iter_tokenize, tokenize)
 from .writer import escape_text, write_events
 
 __all__ = [
-    "XMLTokenizer", "XMLSyntaxError", "tokenize", "iter_tokenize",
+    "XMLTokenizer", "XMLSyntaxError", "ResourceLimitError",
+    "tokenize", "iter_tokenize",
     "write_events", "escape_text",
     "Node", "Element", "Text", "parse", "forest_from_events",
     "forest_to_xml",

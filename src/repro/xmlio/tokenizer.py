@@ -48,6 +48,29 @@ class XMLSyntaxError(ValueError):
         self.offset = offset
 
 
+class ResourceLimitError(XMLSyntaxError):
+    """A configured ingest resource limit was exceeded.
+
+    The poison-input guard: hostile documents — element depth bombs,
+    multi-megabyte attributes, unbounded text runs — raise this
+    structured error the moment the configured budget is crossed,
+    instead of driving the process into unbounded memory growth or
+    deep-recursion abuse downstream.  ``limit_name`` is the
+    constructor keyword that tripped (``"max_depth"``,
+    ``"max_token_bytes"``, ``"max_attrs"``), ``limit`` its configured
+    value, ``actual`` the observed size.
+    """
+
+    def __init__(self, message: str, offset: int, limit_name: str,
+                 limit: int, actual: int) -> None:
+        super().__init__(
+            "{} ({}={}, observed {})".format(message, limit_name,
+                                             limit, actual), offset)
+        self.limit_name = limit_name
+        self.limit = limit
+        self.actual = actual
+
+
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
 
 # Fast-path tag patterns.  A start tag without attributes and an end tag
@@ -114,17 +137,34 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
             unvalidated (they can never influence any query).  Mutually
             exclusive with ``emit_oids`` (skipping would renumber the
             document-order identities backward axes rely on).
+        max_depth: maximum open-element nesting depth (pruned subtrees
+            included).  A depth bomb raises a structured
+            :class:`ResourceLimitError` at the limit instead of growing
+            the element stack without bound.  ``None`` (default): off.
+        max_token_bytes: maximum bytes buffered for one incomplete
+            markup construct (a giant tag or attribute spanning feed
+            chunks) or one pending character-data run.  Checked after
+            every :meth:`feed`, so cross-chunk accumulation stops at
+            the limit with a structured error.  ``None``: off.
+        max_attrs: maximum attributes on a single element.  ``None``:
+            off.
     """
 
     def __init__(self, stream_id: int = 0, emit_oids: bool = False,
                  keep_whitespace: bool = False,
                  attribute_handler: Optional[
                      Callable[[str, str, str], None]] = None,
-                 projection=None) -> None:
+                 projection=None,
+                 max_depth: Optional[int] = None,
+                 max_token_bytes: Optional[int] = None,
+                 max_attrs: Optional[int] = None) -> None:
         self.stream_id = stream_id
         self.emit_oids = emit_oids
         self.keep_whitespace = keep_whitespace
         self.attribute_handler = attribute_handler
+        self.max_depth = max_depth
+        self.max_token_bytes = max_token_bytes
+        self.max_attrs = max_attrs
         if projection is not None:
             if emit_oids:
                 raise ValueError(
@@ -146,6 +186,7 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
         self._buf = ""
         self._mode = _TEXT
         self._offset = 0
+        self._text_size = 0             # bytes pending in _text_parts
         self._stack: List[Tuple[str, Optional[int]]] = []
         self._next_oid = 0
         self._started = False
@@ -171,6 +212,8 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
             self._started = True
             out.append(start_stream(self.stream_id))
         self._scan(out)
+        if self.max_token_bytes is not None:
+            self._check_token_bytes()
         if self.projection_stats is not None:
             self.projection_stats.events_emitted += len(out)
         if hist is not None:
@@ -204,6 +247,35 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
         yield from self.feed(text)
         yield from self.close()
 
+    # -- resource guards ---------------------------------------------------
+
+    def _check_depth(self) -> None:
+        """Guard one element push against ``max_depth``."""
+        depth = len(self._stack) + len(self._skip_stack)
+        if depth >= self.max_depth:
+            raise ResourceLimitError(
+                "element nesting exceeds the configured depth limit",
+                self._offset, "max_depth", self.max_depth, depth + 1)
+
+    def _check_token_bytes(self) -> None:
+        """Post-feed guard: no buffered construct outgrows the budget.
+
+        Two accumulation vectors are bounded: the raw buffer holding one
+        incomplete markup construct (a tag or attribute that never
+        closes keeps growing across feeds), and the pending
+        character-data run (text accumulates in ``_text_parts`` until
+        the next markup flushes it).
+        """
+        limit = self.max_token_bytes
+        if len(self._buf) > limit:
+            raise ResourceLimitError(
+                "buffered markup construct exceeds the token budget",
+                self._offset, "max_token_bytes", limit, len(self._buf))
+        if self._text_size > limit:
+            raise ResourceLimitError(
+                "buffered character data exceeds the token budget",
+                self._offset, "max_token_bytes", limit, self._text_size)
+
     # -- scanning ----------------------------------------------------------
 
     def _scan(self, out: List[Event]) -> None:
@@ -215,10 +287,12 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
                 lt = buf.find("<", pos)
                 if lt < 0:
                     self._text_parts.append((False, buf[pos:]))
+                    self._text_size += n - pos
                     pos = n
                     break
                 if lt > pos:
                     self._text_parts.append((False, buf[pos:lt]))
+                    self._text_size += lt - pos
                 pos = lt
                 self._mode = _MARKUP
             elif self._mode == _MARKUP:
@@ -238,9 +312,11 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
                 if end < 0:
                     if n - 2 > pos:
                         self._text_parts.append((True, buf[pos:n - 2]))
+                        self._text_size += n - 2 - pos
                     pos = max(pos, n - 2)
                     break
                 self._text_parts.append((True, buf[pos:end]))
+                self._text_size += end - pos
                 pos = end + 3
                 self._mode = _TEXT
             elif self._mode == _PI:
@@ -297,6 +373,8 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
             if m.group(2):  # self-closing
                 out.append(end_element(self.stream_id, tag, oid=oid))
             else:
+                if self.max_depth is not None:
+                    self._check_depth()
                 self._stack.append((tag, oid))
             self._mode = _TEXT
             return m.end()
@@ -332,6 +410,11 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
         if gt < 0:
             return None
         raw = buf[pos + 1:gt]
+        if self.max_token_bytes is not None and len(raw) > self.max_token_bytes:
+            raise ResourceLimitError(
+                "markup construct exceeds the token budget",
+                self._offset, "max_token_bytes", self.max_token_bytes,
+                len(raw))
         self._flush_text(out)
         if raw.startswith("/"):
             self._end_tag(raw[1:].strip(), out)
@@ -353,6 +436,10 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
         tag, attrs = _split_tag(raw, self._offset)
         if not tag:
             raise XMLSyntaxError("empty tag name", self._offset)
+        if self.max_attrs is not None and len(attrs) > self.max_attrs:
+            raise ResourceLimitError(
+                "element <{}> exceeds the attribute limit".format(tag),
+                self._offset, "max_attrs", self.max_attrs, len(attrs))
         if self._cursor is not None and \
                 not self._project_open(tag, selfclosing, nbytes):
             return False
@@ -360,6 +447,8 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
             for name, value in attrs:
                 self.attribute_handler(tag, name, value)
         oid = self._take_oid()
+        if self.max_depth is not None:
+            self._check_depth()
         self._stack.append((tag, oid))
         out.append(start_element(self.stream_id, tag, oid=oid))
         return True
@@ -389,8 +478,18 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
     def _flush_text(self, out: List[Event]) -> None:
         if not self._text_parts:
             return
+        # Enforced here as well as post-feed so the budget is
+        # chunking-independent: a text run larger than the budget trips
+        # whether it arrived in one feed or accumulated across many.
+        if self.max_token_bytes is not None \
+                and self._text_size > self.max_token_bytes:
+            raise ResourceLimitError(
+                "character data run exceeds the token budget",
+                self._offset, "max_token_bytes", self.max_token_bytes,
+                self._text_size)
         parts = self._text_parts
         self._text_parts = []
+        self._text_size = 0
         # CDATA-section segments are literal; only plain character data
         # gets entity decoding (runs are joined first so an entity split
         # across feed() chunks still decodes).  Single-segment flushes —
@@ -453,6 +552,8 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
             stats.subtrees_skipped += 1
         else:
             stats.events_pruned += 1  # the sE; the eE counts on close
+            if self.max_depth is not None:
+                self._check_depth()
             self._skip_stack.append(tag)
             self._skip_sub = _SK_TEXT
             self._mode = _SKIP
@@ -524,6 +625,8 @@ ProjectionMatcher`.  When a start tag opens a subtree no remaining
                         stats.events_pruned += 2
                     else:
                         stats.events_pruned += 1
+                        if self.max_depth is not None:
+                            self._check_depth()
                         self._skip_stack.append(tag)
                     pos = gt + 1
             elif sub == _SK_COMMENT:
@@ -680,22 +783,27 @@ def _decode_entities(text: str, offset: int) -> str:
 
 
 def tokenize(text: str, stream_id: int = 0, emit_oids: bool = False,
-             keep_whitespace: bool = False, projection=None) -> List[Event]:
-    """Tokenize a complete XML document into a list of events."""
+             keep_whitespace: bool = False, projection=None,
+             **limits) -> List[Event]:
+    """Tokenize a complete XML document into a list of events.
+
+    ``limits`` (``max_depth`` / ``max_token_bytes`` / ``max_attrs``)
+    pass through to :class:`XMLTokenizer`.
+    """
     tok = XMLTokenizer(stream_id=stream_id, emit_oids=emit_oids,
                        keep_whitespace=keep_whitespace,
-                       projection=projection)
+                       projection=projection, **limits)
     return list(tok.tokenize(text))
 
 
 def iter_tokenize(chunks: Iterable[str], stream_id: int = 0,
                   emit_oids: bool = False,
                   keep_whitespace: bool = False,
-                  projection=None) -> Iterator[Event]:
+                  projection=None, **limits) -> Iterator[Event]:
     """Tokenize XML arriving in chunks, yielding events incrementally."""
     tok = XMLTokenizer(stream_id=stream_id, emit_oids=emit_oids,
                        keep_whitespace=keep_whitespace,
-                       projection=projection)
+                       projection=projection, **limits)
     for chunk in chunks:
         yield from tok.feed(chunk)
     yield from tok.close()

@@ -496,13 +496,64 @@ class MultiQueryRun:
         self.feed_all(events)
         return self.finish()
 
-    def run_xml(self, text: str) -> "MultiQueryRun":
+    def run_durable(self, events: Iterable[Event], durable: str,
+                    batch_events: int = 512,
+                    checkpoint_every: int = 16,
+                    checkpoint_cost_factor: float = 9.0,
+                    manifest_extra: Optional[dict] = None,
+                    **wal_opts) -> "MultiQueryRun":
+        """Evaluate with write-ahead journaling to ``durable`` (a dir).
+
+        Every frame is durably logged before any pipeline sees it,
+        checkpoint envelopes land every ``checkpoint_every`` frames
+        subject to time-amortization (plus one covering the empty
+        prefix, so recovery always has an envelope to restore; see
+        :func:`repro.fault.wal.drive_durable`), and quarantines are
+        recorded as STATUS records.  After a crash,
+        :func:`repro.fault.recover.recover` on the directory
+        reproduces this run byte-identically.  ``wal_opts`` pass
+        through to :class:`~repro.fault.wal.WriteAheadLog`
+        (``segment_bytes``, ``fsync``, ``crash_after_frames``).
+        """
+        from ..fault.wal import WriteAheadLog, drive_durable
+        wal = WriteAheadLog(durable, **wal_opts)
+        manifest = {
+            "kind": "multiquery",
+            "queries": list(self.query_texts),
+            "batch_events": batch_events,
+            "checkpoint_every": checkpoint_every,
+            "needs_oids": self.needs_oids,
+            "source_id": self.source_id,
+        }
+        manifest.update(manifest_extra or {})
+        wal.begin(manifest)
+        wal.register_shards([None])
+        wal.checkpoint(self.checkpoint(), 0)
+        drive_durable(self, events, wal, batch_events=batch_events,
+                      checkpoint_every=checkpoint_every,
+                      checkpoint_cost_factor=checkpoint_cost_factor)
+        return self
+
+    def run_xml(self, text: str, durable: Optional[str] = None,
+                **durable_opts) -> "MultiQueryRun":
         """Evaluate all queries over an XML document — tokenized once.
 
         With projection enabled the shared tokenizer prunes subtrees no
         query's path set can reach (the union projection); per-query
         masks narrow the fan-out further.
+
+        With ``durable`` set to a directory path the run journals to a
+        write-ahead log first (see :meth:`run_durable`); projection is
+        not combinable with durability (the log must hold the full
+        event stream a recovery can resume from).
         """
+        if durable is not None:
+            if self.projection_matcher is not None:
+                raise ValueError("durable runs do not combine with "
+                                 "tokenizer projection")
+            events = list(tokenize(text, stream_id=self.source_id,
+                                   emit_oids=self.needs_oids))
+            return self.run_durable(events, durable, **durable_opts)
         tok_hist = None
         if any(r.recorder is not None for r in self.runs):
             from ..obs.histogram import LogHistogram
@@ -767,8 +818,46 @@ class XFlux:
         run.feed_all(events)
         return run.finish()
 
+    def run_durable(self, events: Iterable[Event], durable: str,
+                    batch_events: int = 512,
+                    checkpoint_every: int = 16,
+                    checkpoint_cost_factor: float = 9.0,
+                    run_kwargs: Optional[dict] = None,
+                    **wal_opts) -> QueryRun:
+        """Evaluate over an event stream with write-ahead journaling.
+
+        The single-query twin of
+        :meth:`MultiQueryRun.run_durable`: frames are logged to the
+        ``durable`` directory before the pipeline sees them, with
+        periodic ``queryrun`` checkpoint envelopes, so
+        :func:`repro.fault.recover.recover` reproduces the run after a
+        crash (the recovery side re-compiles this same query from the
+        manifest and restores into it).
+        """
+        from ..fault.wal import WriteAheadLog, drive_durable
+        run = self.start(**(run_kwargs or {}))
+        wal = WriteAheadLog(durable, **wal_opts)
+        wal.begin({
+            "kind": "query",
+            "query": self.query_text,
+            "mutable_source": self.mutable_source,
+            "ignore_updates": self.ignore_updates,
+            "batch_events": batch_events,
+            "checkpoint_every": checkpoint_every,
+            "needs_oids": run.plan.needs_oids,
+            "source_id": run.plan.source_id,
+        })
+        wal.register_shards([None])
+        wal.checkpoint(run.checkpoint(), 0)
+        drive_durable(run, events, wal, batch_events=batch_events,
+                      checkpoint_every=checkpoint_every,
+                      checkpoint_cost_factor=checkpoint_cost_factor)
+        return run
+
     def run_xml(self, text: str, projection: bool = False,
-                schema=None, **kwargs) -> QueryRun:
+                schema=None, durable: Optional[str] = None,
+                durable_opts: Optional[dict] = None,
+                **kwargs) -> QueryRun:
         """Evaluate over an XML document string (tokenized on the fly).
 
         With ``projection=True`` the compiled plan's path projection is
@@ -777,7 +866,22 @@ class XFlux:
         result is byte-identical by construction and ``schema`` (an
         :class:`~repro.analysis.projection.ElementSchema` or the name
         ``"xmark"``/``"dblp"``) sharpens what counts as prunable.
+
+        With ``durable`` set to a directory path the run journals every
+        frame to a write-ahead log ahead of dispatch and checkpoints
+        periodically (see :meth:`run_durable`; ``durable_opts`` pass
+        through).  Durability does not combine with projection — the
+        log must hold the full stream a recovery can resume from.
         """
+        if durable is not None:
+            if projection:
+                raise ValueError("durable runs do not combine with "
+                                 "tokenizer projection")
+            plan_probe = self.compile()
+            events = list(tokenize(text, stream_id=plan_probe.source_id,
+                                   emit_oids=plan_probe.needs_oids))
+            return self.run_durable(events, durable, run_kwargs=kwargs,
+                                    **(durable_opts or {}))
         plan_probe = self.compile()
         run = QueryRun(plan_probe, **kwargs)
         matcher = None

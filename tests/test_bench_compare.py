@@ -1,0 +1,115 @@
+"""The bench-regression gate (benchmarks/compare.py): warn-only by
+default, a hard failure under ``--strict`` — so PR runs on noisy
+runners stay green while the nightly job catches sustained drift."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", os.path.join(_ROOT, "benchmarks", "compare.py"))
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _payload(rates, scale=0.1):
+    return {
+        "meta": {"git_commit": "abc1234", "git_dirty": False,
+                 "xmark_scale": scale},
+        "queries": [{"query": q, "events_per_s": r}
+                    for q, r in rates.items()],
+    }
+
+
+class TestCompare:
+    def test_equal_rates_pass(self):
+        report = bench_compare.compare(
+            _payload({"Q1": 100.0, "Q2": 50.0}),
+            _payload({"Q1": 100.0, "Q2": 50.0}), threshold=1.30)
+        assert report["geomean_slowdown"] == 1.0
+        assert report["regression"] is False
+
+    def test_uniform_2x_slowdown_is_a_regression(self):
+        report = bench_compare.compare(
+            _payload({"Q1": 100.0, "Q2": 50.0}),
+            _payload({"Q1": 50.0, "Q2": 25.0}), threshold=1.30)
+        assert report["geomean_slowdown"] == pytest.approx(2.0)
+        assert report["regression"] is True
+
+    def test_single_outlier_diluted_by_geomean(self):
+        # One 1.5x-slower query among three steady ones keeps the
+        # geomean under a 1.30 threshold — the gate scores the whole
+        # workload, not the noisiest query.
+        report = bench_compare.compare(
+            _payload({"Q1": 100.0, "Q2": 100.0, "Q3": 100.0,
+                      "Q4": 100.0}),
+            _payload({"Q1": 100.0, "Q2": 100.0, "Q3": 100.0,
+                      "Q4": 66.7}), threshold=1.30)
+        assert report["slowdown_per_query"]["Q4"] > 1.30
+        assert report["geomean_slowdown"] < 1.30
+        assert report["regression"] is False
+
+    def test_disjoint_queries_reported_not_scored(self):
+        report = bench_compare.compare(
+            _payload({"Q1": 100.0, "Q9": 10.0}),
+            _payload({"Q1": 100.0, "Q5": 10.0}), threshold=1.30)
+        assert report["missing_in_fresh"] == ["Q9"]
+        assert report["missing_in_baseline"] == ["Q5"]
+        assert list(report["slowdown_per_query"]) == ["Q1"]
+
+    def test_scale_mismatch_flagged(self):
+        report = bench_compare.compare(
+            _payload({"Q1": 100.0}, scale=0.1),
+            _payload({"Q1": 100.0}, scale=0.05), threshold=1.30)
+        assert report["scale_mismatch"] is True
+
+
+class TestMainExitCodes:
+    def _run(self, tmp_path, monkeypatch, baseline, fresh, argv):
+        path = tmp_path / "BENCH_queries.json"
+        path.write_text(json.dumps(baseline))
+        import repro.bench.harness
+        import repro.bench.record
+        monkeypatch.setattr(repro.bench.harness, "Workloads",
+                            lambda **kw: None)
+        monkeypatch.setattr(repro.bench.record, "bench_queries",
+                            lambda workloads, repeats, queries: fresh)
+        return bench_compare.main(["--baseline", str(path)] + argv)
+
+    def test_regression_is_warn_only_by_default(self, tmp_path,
+                                                monkeypatch, capsys):
+        rc = self._run(tmp_path, monkeypatch,
+                       _payload({"Q1": 100.0}), _payload({"Q1": 10.0}),
+                       [])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "REGRESSION" in captured.err
+        assert "warn-only" in captured.err
+
+    def test_regression_fails_under_strict(self, tmp_path, monkeypatch,
+                                           capsys):
+        rc = self._run(tmp_path, monkeypatch,
+                       _payload({"Q1": 100.0}), _payload({"Q1": 10.0}),
+                       ["--strict"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "REGRESSION" in captured.err
+        assert "warn-only" not in captured.err
+
+    def test_clean_run_passes_both_modes(self, tmp_path, monkeypatch,
+                                         capsys):
+        for argv in ([], ["--strict"]):
+            rc = self._run(tmp_path, monkeypatch,
+                           _payload({"Q1": 100.0}),
+                           _payload({"Q1": 99.0}), argv)
+            assert rc == 0
+            assert "ok: within threshold" in capsys.readouterr().out
+
+    def test_missing_baseline_is_an_error(self, tmp_path, capsys):
+        rc = bench_compare.main(
+            ["--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().err

@@ -16,8 +16,8 @@ from hypothesis import strategies as st
 
 from repro.analysis.projection import (CHILD, ProjectionMatcher,
                                        QueryProjection)
-from repro.xmlio import XMLSyntaxError, XMLTokenizer, iter_tokenize, \
-    tokenize
+from repro.xmlio import (ResourceLimitError, XMLSyntaxError, XMLTokenizer,
+                         iter_tokenize, tokenize)
 from repro.xmlio.reference_tokenizer import (ReferenceTokenizer,
                                              iter_reference_tokenize,
                                              reference_tokenize)
@@ -272,3 +272,114 @@ class TestSkipModeSplitPoints:
                 if skip_until is None:
                     kept.append(e)
         assert kept == pruned_oneshot[0]
+
+
+# --------------------------------------------------------------------------
+# Resource guards: hostile inputs must trip a *structured*
+# ResourceLimitError — never a RecursionError, MemoryError, or silent
+# unbounded buffering — at the same point regardless of where feed
+# boundaries fall.
+
+def _depth_bomb(depth):
+    return ("<d>" * depth) + "x" + ("</d>" * depth)
+
+
+def _giant_attr_doc(size):
+    return '<r a="' + "v" * size + '"/>'
+
+
+def _mega_text_doc(size):
+    return "<r>" + "t" * size + "</r>"
+
+
+def _many_attrs_doc(n):
+    attrs = " ".join('a{}="v"'.format(i) for i in range(n))
+    return "<r {}/>".format(attrs)
+
+
+def _chunks_of(doc, cuts):
+    bounds = sorted({0, len(doc), *(c % (len(doc) + 1) for c in cuts)})
+    return [doc[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+class TestResourceGuards:
+    def test_depth_bomb_trips_max_depth(self):
+        with pytest.raises(ResourceLimitError) as info:
+            tokenize(_depth_bomb(200), max_depth=64)
+        assert info.value.limit_name == "max_depth"
+        assert info.value.limit == 64
+        assert info.value.actual == 65
+
+    def test_depth_bomb_is_fine_below_the_limit(self):
+        events = tokenize(_depth_bomb(64), max_depth=64)
+        assert events == tokenize(_depth_bomb(64))
+
+    def test_giant_attribute_trips_max_token_bytes_oneshot(self):
+        with pytest.raises(ResourceLimitError) as info:
+            tokenize(_giant_attr_doc(10000), max_token_bytes=1024)
+        assert info.value.limit_name == "max_token_bytes"
+        assert info.value.actual > info.value.limit == 1024
+
+    def test_mega_text_trips_max_token_bytes(self):
+        with pytest.raises(ResourceLimitError) as info:
+            list(iter_tokenize(
+                ["<r>", "t" * 600, "t" * 600, "</r>"],
+                max_token_bytes=1024))
+        assert info.value.limit_name == "max_token_bytes"
+
+    def test_attr_flood_trips_max_attrs(self):
+        with pytest.raises(ResourceLimitError) as info:
+            tokenize(_many_attrs_doc(40), max_attrs=16)
+        assert info.value.limit_name == "max_attrs"
+        assert info.value.limit == 16
+        assert info.value.actual == 40
+
+    def test_limits_off_by_default(self):
+        # No limits configured: the same hostile documents tokenize
+        # (slowly, but structurally fine).
+        assert tokenize(_depth_bomb(300))
+        assert tokenize(_giant_attr_doc(5000))
+        assert tokenize(_many_attrs_doc(64))
+
+    def test_limited_tokenizer_unchanged_on_benign_input(self, oneshot):
+        assert tokenize(DOC, max_depth=64, max_token_bytes=1 << 16,
+                        max_attrs=32) == oneshot
+
+    def test_error_is_a_syntax_error_subclass(self):
+        with pytest.raises(XMLSyntaxError):
+            tokenize(_depth_bomb(100), max_depth=8)
+
+    @given(cuts=st.lists(st.integers(0, 10 ** 6), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_depth_bomb_trips_across_any_chunking(self, cuts):
+        doc = _depth_bomb(120)
+        with pytest.raises(ResourceLimitError) as info:
+            list(iter_tokenize(_chunks_of(doc, cuts), max_depth=48))
+        assert info.value.limit_name == "max_depth"
+        assert info.value.limit == 48
+
+    @given(cuts=st.lists(st.integers(0, 10 ** 6), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_giant_attribute_trips_across_any_chunking(self, cuts):
+        doc = _giant_attr_doc(4000)
+        with pytest.raises(ResourceLimitError) as info:
+            list(iter_tokenize(_chunks_of(doc, cuts),
+                               max_token_bytes=512))
+        assert info.value.limit_name == "max_token_bytes"
+
+    @given(cuts=st.lists(st.integers(0, 10 ** 6), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_mega_text_trips_across_any_chunking(self, cuts):
+        doc = _mega_text_doc(4000)
+        with pytest.raises(ResourceLimitError) as info:
+            list(iter_tokenize(_chunks_of(doc, cuts),
+                               max_token_bytes=512))
+        assert info.value.limit_name == "max_token_bytes"
+
+    @given(cuts=st.lists(st.integers(0, 10 ** 6), max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_benign_doc_with_limits_matches_oneshot(self, cuts):
+        expected = tokenize(DOC)
+        got = list(iter_tokenize(_chunks_of(DOC, cuts), max_depth=64,
+                                 max_token_bytes=1 << 16, max_attrs=32))
+        assert got == expected

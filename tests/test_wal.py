@@ -1,0 +1,281 @@
+"""Write-ahead log unit tests: record round-trips, torn tails,
+mid-log corruption, checkpoint-gated rotation, and bounded retention.
+
+The durability contract under test (DESIGN.md section 14): every
+record reads back exactly as written; a crash that tears the final
+record is repaired by truncation without losing any earlier record;
+corruption anywhere else refuses to replay; and rotation never drops a
+frame a recovery could still need.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.events import codec
+from repro.fault.wal import (R_CKPT, R_EOS, R_FRAME, R_META, R_STATUS,
+                             WalError, WriteAheadLog, iter_wal_records,
+                             list_segments, scan_wal)
+from repro.xmlio import tokenize
+
+
+def _batches(n_batches: int, events_per: int = 4):
+    """Deterministic encoded batch payloads, one per frame."""
+    out = []
+    for i in range(n_batches):
+        doc = "<r>" + "<i>{}</i>".format(i) * events_per + "</r>"
+        events = tokenize(doc)[: events_per]
+        out.append(codec.encode_batch(events))
+    return out
+
+
+def _write_log(directory, n_frames=5, ckpt_at=(), statuses=(),
+               eos=False, **wal_opts):
+    wal = WriteAheadLog(str(directory), **wal_opts)
+    wal.begin({"kind": "test", "queries": ["q"]})
+    wal.register_shards([None])
+    for seq, payload in enumerate(_batches(n_frames), start=1):
+        wal.log_frame(seq, payload)
+        if seq in ckpt_at:
+            wal.checkpoint(b"CKPT-BLOB-%d" % seq, seq)
+        for query, at in statuses:
+            if at == seq:
+                wal.status(query, {"error_type": "Boom",
+                                   "message": "m"}, seq)
+    if eos:
+        wal.eos()
+    wal.close()
+    return wal
+
+
+class TestRecordRoundTrip:
+    def test_scan_reproduces_everything(self, tmp_path):
+        payloads = _batches(4)
+        _write_log(tmp_path, n_frames=4, ckpt_at=(2,),
+                   statuses=[(1, 3)], eos=True)
+        state = scan_wal(str(tmp_path))
+        assert state.manifest["kind"] == "test"
+        assert state.manifest["wal_version"] == 1
+        assert sorted(state.frames) == [1, 2, 3, 4]
+        for seq, payload in enumerate(payloads, start=1):
+            assert state.frames[seq] == payload
+        assert state.checkpoints[None] == (2, b"CKPT-BLOB-2")
+        assert state.statuses == [{"query": 1, "error_type": "Boom",
+                                   "message": "m", "at_seq": 3}]
+        assert state.eos_seq == 4
+        assert state.truncated is None
+        assert state.last_frame == 4
+        assert state.events_logged() == 16
+
+    def test_record_types_in_order(self, tmp_path):
+        _write_log(tmp_path, n_frames=2, ckpt_at=(2,), eos=True)
+        types = [r.rtype for r in iter_wal_records(str(tmp_path))]
+        assert types == [R_META, R_FRAME, R_FRAME, R_CKPT, R_EOS]
+
+    def test_frame_bytes_is_the_wire_format(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.begin({"kind": "test"})
+        payload = _batches(1)[0]
+        wal.log_frame(1, payload)
+        assert wal.frame_bytes(1) == codec.frame_checked(payload, 1)
+        wal.close()
+
+    def test_sequence_gap_rejected(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.begin({"kind": "test"})
+        wal.log_frame(1, b"p")
+        with pytest.raises(WalError) as excinfo:
+            wal.log_frame(3, b"p")
+        assert excinfo.value.reason == "bad-record"
+        wal.close()
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.begin({"kind": "test"})
+        wal.close()
+        with pytest.raises(WalError) as excinfo:
+            wal.log_frame(1, b"p")
+        assert excinfo.value.reason == "closed"
+
+    def test_existing_log_refused(self, tmp_path):
+        _write_log(tmp_path, n_frames=1)
+        with pytest.raises(WalError) as excinfo:
+            WriteAheadLog(str(tmp_path))
+        assert excinfo.value.reason == "exists"
+
+
+class TestTornTail:
+    def _tear(self, tmp_path, drop: int):
+        """Append a record then chop ``drop`` bytes off the segment."""
+        _write_log(tmp_path, n_frames=3, eos=False)
+        (seg,) = list_segments(str(tmp_path))
+        extra = codec.frame_checked(bytes([R_FRAME]) + b"torn", 4)
+        with open(seg, "ab") as fh:
+            fh.write(extra[: len(extra) - drop])
+        return seg
+
+    @pytest.mark.parametrize("drop", [1, 4, 10])
+    def test_unrepai_red_scan_names_the_tear(self, tmp_path, drop):
+        seg = self._tear(tmp_path, drop)
+        with pytest.raises(WalError) as excinfo:
+            list(iter_wal_records(str(tmp_path), repair=False))
+        assert excinfo.value.reason == "torn-tail"
+        assert excinfo.value.segment == seg
+
+    @pytest.mark.parametrize("drop", [1, 4, 10])
+    def test_repair_truncates_and_keeps_the_prefix(self, tmp_path, drop):
+        seg = self._tear(tmp_path, drop)
+        torn_size = os.path.getsize(seg)
+        state = scan_wal(str(tmp_path), repair=True)
+        assert sorted(state.frames) == [1, 2, 3]
+        assert state.truncated is not None
+        assert state.truncated["segment"] == seg
+        assert state.truncated["bytes_dropped"] > 0
+        assert os.path.getsize(seg) < torn_size
+        # After repair the log is clean: a second scan sees no tear.
+        again = scan_wal(str(tmp_path))
+        assert again.truncated is None
+        assert sorted(again.frames) == [1, 2, 3]
+
+    def test_scan_without_repair_raises(self, tmp_path):
+        self._tear(tmp_path, 3)
+        with pytest.raises(WalError) as excinfo:
+            scan_wal(str(tmp_path), repair=False)
+        assert excinfo.value.reason == "torn-tail"
+
+
+class TestMidLogCorruption:
+    def test_flipped_byte_is_corrupt_not_torn(self, tmp_path):
+        _write_log(tmp_path, n_frames=3, eos=True)
+        (seg,) = list_segments(str(tmp_path))
+        data = bytearray(open(seg, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        with open(seg, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(WalError) as excinfo:
+            scan_wal(str(tmp_path))
+        assert excinfo.value.reason == "corrupt"
+
+    def test_truncated_nonfinal_segment_is_corrupt(self, tmp_path):
+        # Force one rotation so two segments would exist; simulate a
+        # mid-log hole by chopping the tail off the *first* of two
+        # segments instead of the last.
+        _write_log(tmp_path, n_frames=3, eos=False)
+        (seg1,) = list_segments(str(tmp_path))
+        seg2 = os.path.join(str(tmp_path), "wal-00000002.seg")
+        with open(seg2, "wb") as fh:
+            fh.write(codec.frame_checked(bytes([R_EOS]), 3))
+        with open(seg1, "r+b") as fh:
+            fh.truncate(os.path.getsize(seg1) - 5)
+        with pytest.raises(WalError) as excinfo:
+            scan_wal(str(tmp_path))
+        assert excinfo.value.reason == "corrupt"
+
+    def test_empty_directory_is_not_a_log(self, tmp_path):
+        with pytest.raises(WalError) as excinfo:
+            scan_wal(str(tmp_path))
+        assert excinfo.value.reason == "not-a-log"
+
+    def test_missing_manifest_is_not_a_log(self, tmp_path):
+        seg = os.path.join(str(tmp_path), "wal-00000001.seg")
+        with open(seg, "wb") as fh:
+            fh.write(codec.frame_checked(bytes([R_FRAME]) + b"p", 1))
+        with pytest.raises(WalError) as excinfo:
+            scan_wal(str(tmp_path))
+        assert excinfo.value.reason == "not-a-log"
+
+
+class TestRotation:
+    def test_rotation_waits_for_a_checkpoint(self, tmp_path):
+        # Tiny segment budget but no checkpoint: the floor stays 0, so
+        # the log must never rotate (a rotation would discard frames a
+        # replay still needs).
+        wal = WriteAheadLog(str(tmp_path), segment_bytes=64)
+        wal.begin({"kind": "test"})
+        wal.register_shards([None])
+        for seq, payload in enumerate(_batches(6), start=1):
+            wal.log_frame(seq, payload)
+        assert wal.rotations == 0
+        assert len(list_segments(str(tmp_path))) == 1
+        wal.close()
+
+    def test_rotation_bounds_the_log_and_keeps_the_tail(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_bytes=256)
+        wal.begin({"kind": "test", "queries": ["q"]})
+        wal.register_shards([None])
+        payloads = _batches(12)
+        for seq, payload in enumerate(payloads, start=1):
+            wal.log_frame(seq, payload)
+            if seq % 4 == 0:
+                wal.checkpoint(b"B%d" % seq, seq)
+        assert wal.rotations >= 1
+        # Only the newest segment survives; it is self-sufficient.
+        assert len(list_segments(str(tmp_path))) == 1
+        state = scan_wal(str(tmp_path))
+        assert state.manifest["kind"] == "test"
+        floor = state.checkpoints[None][0]
+        # Every frame past the newest checkpoint floor is replayable
+        # and byte-identical to what was logged.
+        for seq in range(floor + 1, 13):
+            assert state.frames[seq] == payloads[seq - 1]
+        wal.close()
+
+    def test_rotated_log_stays_smaller_than_unrotated(self, tmp_path):
+        rotated_dir = tmp_path / "rot"
+        unrotated_dir = tmp_path / "flat"
+        for directory, seg_bytes in ((rotated_dir, 256),
+                                     (unrotated_dir, 1 << 30)):
+            wal = WriteAheadLog(str(directory), segment_bytes=seg_bytes)
+            wal.begin({"kind": "test"})
+            wal.register_shards([None])
+            for seq, payload in enumerate(_batches(40), start=1):
+                wal.log_frame(seq, payload)
+                if seq % 4 == 0:
+                    wal.checkpoint(b"B", seq)
+            wal.close()
+        rotated = sum(os.path.getsize(p)
+                      for p in list_segments(str(rotated_dir)))
+        unrotated = sum(os.path.getsize(p)
+                        for p in list_segments(str(unrotated_dir)))
+        assert rotated < unrotated
+
+    def test_frame_payload_survives_pruning_via_disk(self, tmp_path):
+        # After a checkpoint prunes the in-memory copy, frame_payload
+        # falls back to scanning the segments.
+        wal = WriteAheadLog(str(tmp_path))
+        wal.begin({"kind": "test"})
+        wal.register_shards([None])
+        payloads = _batches(3)
+        for seq, payload in enumerate(payloads, start=1):
+            wal.log_frame(seq, payload)
+        wal.checkpoint(b"B", 3)
+        assert wal.stats()["retained_payloads"] == 0
+        assert wal.frame_payload(2) == payloads[1]
+        wal.close()
+
+
+class TestScanAbsorb:
+    def test_newest_checkpoint_wins(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.begin({"kind": "test"})
+        wal.register_shards([0, 1])
+        wal.log_frame(1, b"p1")
+        wal.checkpoint(b"old0", 1, shard=0)
+        wal.log_frame(2, b"p2")
+        wal.checkpoint(b"new0", 2, shard=0)
+        wal.checkpoint(b"only1", 2, shard=1)
+        wal.close()
+        state = scan_wal(str(tmp_path))
+        assert state.checkpoints[0] == (2, b"new0")
+        assert state.checkpoints[1] == (2, b"only1")
+
+    def test_whole_process_key_is_none(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.begin({"kind": "test"})
+        wal.log_frame(1, b"p1")
+        wal.checkpoint(b"blob", 1)
+        wal.close()
+        state = scan_wal(str(tmp_path))
+        assert list(state.checkpoints) == [None]
